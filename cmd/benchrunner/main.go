@@ -1,0 +1,82 @@
+// Command benchrunner regenerates every experiment series recorded in
+// EXPERIMENTS.md (the paper's per-theorem round-complexity artefacts,
+// DESIGN.md §4). Run with no flags for the full suite, or select
+// experiments with -only.
+//
+//	benchrunner                 # everything, default sizes
+//	benchrunner -only e1,e3     # selected experiments
+//	benchrunner -quick          # small sizes (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kplist/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	var (
+		only  = fs.String("only", "", "comma-separated experiments to run (e1..e7); empty = all")
+		quick = fs.Bool("quick", false, "small sizes for a fast smoke run")
+		seed  = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, tag := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(tag))] = true
+		}
+	}
+	enabled := func(tag string) bool { return len(want) == 0 || want[tag] }
+
+	cfg := bench.Config{Seed: *seed}
+	ablN, ccN := 240, 200
+	if *quick {
+		cfg.Sizes = []int{256, 384, 512}
+		cfg.EdgeCounts = []int{250, 500, 1000, 2000, 4000}
+		cfg.CCN = 128
+		cfg.Ps = []int{4, 5}
+		ablN, ccN = 96, 100
+	}
+
+	type runner struct {
+		tag string
+		fn  func() ([]bench.Series, error)
+	}
+	runners := []runner{
+		{"e1", func() ([]bench.Series, error) { return bench.E1Theorem11(cfg) }},
+		{"e2", func() ([]bench.Series, error) { return bench.E2FastK4(cfg) }},
+		{"e3", func() ([]bench.Series, error) { return bench.E3CongestedClique(cfg) }},
+		{"e4", func() ([]bench.Series, error) { return bench.E4Comparison(cfg) }},
+		{"e5", func() ([]bench.Series, error) { return bench.E5LowerBoundGap(cfg) }},
+		{"e6", func() ([]bench.Series, error) { return bench.E6IterativeDecay(ablN, 0.4, *seed) }},
+		{"e7", func() ([]bench.Series, error) { return bench.E7Ablations(ablN, 0.4, *seed) }},
+		{"e8", func() ([]bench.Series, error) { return bench.E8CountingVsListing(ccN, *seed) }},
+	}
+	for _, r := range runners {
+		if !enabled(r.tag) {
+			continue
+		}
+		fmt.Fprintf(w, "==== %s ====\n", strings.ToUpper(r.tag))
+		series, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.tag, err)
+		}
+		fmt.Fprint(w, bench.RenderAll(series))
+	}
+	return nil
+}

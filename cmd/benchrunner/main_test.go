@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var sb strings.Builder
+	// Tiny footprint: quick sizes, only the fast experiments.
+	if err := run([]string{"-quick", "-only", "e6"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "==== E6 ====") {
+		t.Errorf("missing E6 header:\n%s", out)
+	}
+	if !strings.Contains(out, "|Er| per ARB-LIST pass") {
+		t.Errorf("missing E6 series:\n%s", out)
+	}
+	if strings.Contains(out, "==== E1 ====") {
+		t.Error("-only e6 should not run E1")
+	}
+}
+
+func TestRunE7(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "e7"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "bad-edge delaying") {
+		t.Errorf("missing ablation series:\n%s", sb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunUnknownTagIsNoop(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "e99"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(sb.String(), "====") {
+		t.Error("unknown tag should run nothing")
+	}
+}

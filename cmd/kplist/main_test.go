@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a pipe-backed temp file.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunCongestVerify(t *testing.T) {
+	out, err := capture(t, []string{"-n", "80", "-density", "0.3", "-p", "4", "-algo", "congest", "-verify", "-q", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"graph: n=80", "rounds:", "verification: OK", "phase breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllAlgos(t *testing.T) {
+	for _, algo := range []string{"congest", "fastk4", "cclique", "broadcast", "eden"} {
+		out, err := capture(t, []string{"-n", "60", "-density", "0.3", "-p", "4", "-algo", algo, "-verify", "-q"})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "verification: OK") {
+			t.Errorf("%s did not verify:\n%s", algo, out)
+		}
+	}
+}
+
+func TestRunGNM(t *testing.T) {
+	out, err := capture(t, []string{"-n", "50", "-m", "200", "-p", "3", "-algo", "cclique", "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "m=200") {
+		t.Errorf("GNM edge count not honored:\n%s", out)
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	if _, err := capture(t, []string{"-algo", "nonsense"}); err == nil {
+		t.Error("unknown algo should error")
+	}
+}
+
+func TestRunPrintsCliquesWithoutQuiet(t *testing.T) {
+	out, err := capture(t, []string{"-n", "10", "-density", "1", "-p", "4", "-algo", "broadcast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[0 1 2 3]") {
+		t.Errorf("clique listing missing:\n%s", out)
+	}
+}
+
+func TestLoadEdgesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	content := "# demo\n0 1\n1 2\n0 2\n2 3\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"-edges", path, "-n", "4", "-p", "3", "-algo", "broadcast", "-verify", "-q"})
+	if err != nil {
+		t.Fatalf("run with -edges: %v", err)
+	}
+	if !strings.Contains(out, "cliques: 1") {
+		t.Errorf("expected one triangle:\n%s", out)
+	}
+	// Malformed file errors out.
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("x y\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, []string{"-edges", bad, "-n", "4"}); err == nil {
+		t.Error("malformed edge file should error")
+	}
+	if _, err := capture(t, []string{"-edges", filepath.Join(dir, "missing.txt"), "-n", "4"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestEffectiveP(t *testing.T) {
+	if effectiveP("fastk4", 7) != 4 || effectiveP("eden", 7) != 4 || effectiveP("congest", 5) != 5 {
+		t.Error("effectiveP wrong")
+	}
+}

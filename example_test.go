@@ -1,0 +1,84 @@
+package kplist_test
+
+import (
+	"fmt"
+
+	"kplist"
+)
+
+// The examples below run as part of `go test` and double as godoc usage
+// documentation for the public API.
+
+func ExampleListCONGEST() {
+	// A wheel: hub 0 connected to a 5-cycle 1..5.
+	g, _ := kplist.NewGraph(6, []kplist.Edge{
+		{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 1},
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}, {U: 0, V: 5},
+	})
+	res, err := kplist.ListCONGEST(g, 4, kplist.Options{Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("K4 count:", len(res.Cliques))
+	// The wheel has triangles but no K4.
+	tri, _ := kplist.ListCongestedClique(g, 3, kplist.Options{Seed: 1})
+	fmt.Println("K3 count:", len(tri.Cliques))
+	// Output:
+	// K4 count: 0
+	// K3 count: 5
+}
+
+func ExampleListCongestedClique() {
+	g := kplist.Complete(6)
+	res, err := kplist.ListCongestedClique(g, 5, kplist.Options{Seed: 7})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range res.Cliques {
+		fmt.Println(c)
+	}
+	// Output:
+	// [0 1 2 3 4]
+	// [0 1 2 3 5]
+	// [0 1 2 4 5]
+	// [0 1 3 4 5]
+	// [0 2 3 4 5]
+	// [1 2 3 4 5]
+}
+
+func ExampleVerify() {
+	g := kplist.Complete(5)
+	res, _ := kplist.ListBroadcast(g, 4, kplist.Options{})
+	fmt.Println("exact:", kplist.Verify(g, 4, res.Cliques) == nil)
+	// Dropping a clique is caught.
+	fmt.Println("tampered:", kplist.Verify(g, 4, res.Cliques[1:]) == nil)
+	// Output:
+	// exact: true
+	// tampered: false
+}
+
+func ExampleDetectCONGEST() {
+	g, _ := kplist.PlantedCliques(100, 5, 1, 0.02, 3)
+	found, res, err := kplist.DetectCONGEST(g, 5, kplist.Options{Seed: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("found:", found, "witnesses:", len(res.Cliques))
+	// Output:
+	// found: true witnesses: 1
+}
+
+func ExampleCountTrianglesCC() {
+	g := kplist.Complete(10)
+	count, _, err := kplist.CountTrianglesCC(g, kplist.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("triangles:", count) // C(10,3)
+	// Output:
+	// triangles: 120
+}

@@ -1,0 +1,58 @@
+// Expander-decomposition lab: runs the Definition 2.2 decomposition on
+// several structurally different graph families and prints what it found —
+// clusters with their sizes, minimum degrees, conductances and mixing-time
+// estimates, the arboricity-bounded Es remainder, and the Er leftover
+// fraction. A direct window into the substrate the whole clique-listing
+// pipeline stands on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kplist/internal/congest"
+	"kplist/internal/expander"
+	"kplist/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	families := []struct {
+		name string
+		g    *graph.Graph
+		thr  int
+	}{
+		{"erdos-renyi n=400 p=0.1 (expander)", graph.ErdosRenyi(400, 0.1, rng), 8},
+		{"caveman 6 caves of 16 (communities)", graph.Caveman(6, 16), 5},
+		{"barbell K25—K25 (one bottleneck)", graph.Barbell(25, 3), 5},
+		{"turan T(90,3) (dense, K4-free)", graph.Turan(90, 3), 10},
+		{"cycle C200 (everything peels)", graph.Cycle(200), 3},
+	}
+	for _, f := range families {
+		el := graph.NewEdgeList(f.g.Edges())
+		var ledger congest.Ledger
+		d, err := expander.Decompose(f.g.N(), el, expander.Params{Threshold: f.thr, Seed: 1},
+			congest.UnitCosts(), &ledger)
+		if err != nil {
+			log.Fatalf("%s: %v", f.name, err)
+		}
+		if err := d.Check(f.g.N(), el); err != nil {
+			log.Fatalf("%s: invariants violated: %v", f.name, err)
+		}
+		fmt.Printf("== %s\n", f.name)
+		fmt.Printf("   n=%d m=%d threshold=%d   |Em|=%d |Es|=%d |Er|=%d (budget %d)\n",
+			f.g.N(), f.g.M(), d.Threshold, len(d.Em), len(d.Es), len(d.Er), f.g.M()/6)
+		fmt.Printf("   Es orientation out-degree: %d (≤ threshold %d)\n",
+			d.EsOrient.MaxOutDegree(), d.Threshold)
+		for _, cl := range d.Clusters {
+			fmt.Printf("   cluster %d: k=%-4d minDeg=%-3d conductance=%.4f mixing≈%.0f rounds\n",
+				cl.ID, cl.K(), cl.MinDegree, cl.Conductance, cl.MixingTime)
+		}
+		if len(d.Clusters) == 0 {
+			fmt.Println("   (no clusters — the whole graph peeled into Es)")
+		}
+		fmt.Printf("   decomposition bill: %d rounds\n\n", ledger.Rounds())
+	}
+	fmt.Println("all decompositions passed the Definition 2.2 invariant checker")
+}

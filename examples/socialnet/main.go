@@ -1,0 +1,115 @@
+// Social-network scenario: clique listing is the core primitive of
+// community and quasi-clique detection in social graphs — the motivating
+// workload for distributed subgraph listing. This example builds a
+// power-law (Chung–Lu) graph with planted friend groups, lists K4 and K5
+// with the paper's pipeline and with the previous state of the art, and
+// compares their round bills.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kplist"
+	"kplist/internal/graph"
+)
+
+func main() {
+	const n = 300
+	rng := rand.New(rand.NewSource(7))
+
+	// Power-law degree background (exponent 2.5, average degree 6) — the
+	// heavy tail produces a dense core, like real social graphs.
+	weights := graph.PowerLawWeights(n, 2.5, 6)
+	bg := graph.ChungLu(weights, rng)
+
+	// Plant five friend groups of size 6 on top.
+	edges := bg.Edges()
+	groups := make([][]graph.V, 0, 5)
+	perm := rng.Perm(n)
+	at := 0
+	for gidx := 0; gidx < 5; gidx++ {
+		members := make([]graph.V, 6)
+		for i := range members {
+			members[i] = graph.V(perm[at])
+			at++
+		}
+		groups = append(groups, members)
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				edges = append(edges, graph.Edge{U: members[i], V: members[j]})
+			}
+		}
+	}
+	g, err := kplist.NewGraph(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: n=%d m=%d (power-law background + 5 planted friend groups)\n\n", g.N(), g.M())
+
+	for _, p := range []int{4, 5} {
+		res, err := kplist.ListCONGEST(g, p, kplist.Options{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := kplist.Verify(g, p, res.Cliques); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("K%d: %d cliques in %d rounds (verified)\n", p, len(res.Cliques), res.Rounds)
+	}
+
+	// Every planted friend group must appear among the K6s.
+	res6, err := kplist.ListCONGEST(g, 6, kplist.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := 0
+	for _, members := range groups {
+		want := make(kplist.Clique, len(members))
+		copy(want, members)
+		for _, c := range res6.Cliques {
+			if equal(c, want) {
+				found++
+				break
+			}
+		}
+	}
+	fmt.Printf("K6: %d cliques; recovered %d/5 planted friend groups\n\n", len(res6.Cliques), found)
+
+	// Compare against the previous state of the art and the trivial
+	// algorithm on the same graph.
+	eden, err := kplist.ListEdenK4(g, kplist.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bcast, err := kplist.ListBroadcast(g, 4, kplist.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round bill comparison for K4 on this graph:\n")
+	ours, err := kplist.ListCONGEST(g, 4, kplist.Options{Seed: 3, FastK4: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-34s %8d rounds\n", "this paper (Thm 1.2 fast K4)", ours.Rounds)
+	fmt.Printf("  %-34s %8d rounds\n", "Eden et al. style (DISC 19)", eden.Rounds)
+	fmt.Printf("  %-34s %8d rounds\n", "trivial broadcast", bcast.Rounds)
+}
+
+func equal(a, b kplist.Clique) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Planted groups are stored unsorted; sort-insensitive compare via set.
+	seen := make(map[kplist.V]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"fmt"
+
+	"kplist/internal/congest"
+	"kplist/internal/graph"
+)
+
+// LocalListing is the stricter output discipline mentioned in the paper's
+// related work (§1.3, after Huang et al.): every clique must be reported
+// by at least one of its OWN member nodes, not by an arbitrary node. The
+// broadcast algorithm satisfies it naturally — each member of a Kp
+// receives every edge of the clique — and this variant materializes the
+// attribution.
+type LocalListing struct {
+	// ByNode[v] lists the cliques node v reports (each containing v).
+	ByNode map[graph.V][]graph.Clique
+	// All is the union of the per-node outputs.
+	All graph.CliqueSet
+}
+
+// BroadcastListLocal runs the trivial broadcast lister with per-member
+// attribution: node v reports exactly the Kp instances containing v that
+// are visible in what v heard (its incident edges plus its neighbors'
+// out-edges). Every clique is reported by all p of its members; the round
+// bill is identical to BroadcastList.
+func BroadcastListLocal(n int, edges graph.EdgeList, orient *graph.Orientation, p int, cm congest.CostModel, ledger *congest.Ledger) (*LocalListing, error) {
+	if p < 2 {
+		return nil, fmt.Errorf("baseline: p=%d < 2", p)
+	}
+	if orient == nil {
+		g, err := edges.Graph(n)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %w", err)
+		}
+		orient = g.DegeneracyOrientation()
+	}
+	av, err := graph.NewAdjacencyView(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	maxOut := int64(orient.MaxOutDegree())
+	var msgs int64
+	for v := 0; v < n; v++ {
+		msgs += int64(orient.OutDegree(graph.V(v))) * int64(av.Degree(graph.V(v)))
+	}
+	rounds := cm.BroadcastRounds(maxOut)
+	if rounds < 1 {
+		rounds = 1
+	}
+	ledger.Charge("broadcast-listing-local", rounds, msgs)
+
+	out := &LocalListing{ByNode: make(map[graph.V][]graph.Clique), All: make(graph.CliqueSet)}
+	// Per-node view: incident edges + out-edges of neighbors. A Kp is
+	// visible to each of its members (every edge is oriented away from a
+	// member, every member is the node itself or its neighbor).
+	for v := 0; v < n; v++ {
+		vv := graph.V(v)
+		if av.Degree(vv) == 0 {
+			continue
+		}
+		var known []graph.Edge
+		for _, w := range av.Neighbors(vv) {
+			known = append(known, graph.Edge{U: vv, V: w}.Canon())
+			for _, x := range orient.Out(w) {
+				known = append(known, graph.Edge{U: w, V: x}.Canon())
+			}
+		}
+		ll := graph.NewLocalLister(known)
+		ll.VisitCliques(p, func(c graph.Clique) {
+			if !graph.ContainsSorted([]graph.V(c), vv) {
+				return // report only own cliques (the local-listing rule)
+			}
+			cp := make(graph.Clique, len(c))
+			copy(cp, c)
+			out.ByNode[vv] = append(out.ByNode[vv], cp)
+			out.All.Add(cp)
+		})
+	}
+	return out, nil
+}

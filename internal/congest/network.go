@@ -1,0 +1,259 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kplist/internal/graph"
+)
+
+// ErrAborted is returned from Context operations after the run has been
+// aborted (another node errored, or the round limit was hit).
+var ErrAborted = errors.New("congest: run aborted")
+
+// NodeFunc is the per-node program executed by the real engine. It runs on
+// its own goroutine; ctx provides topology queries, sending, and the round
+// barrier. Returning ends the node's participation.
+type NodeFunc func(ctx *Context) error
+
+// Options configures a Network run.
+type Options struct {
+	// EdgeCapacity is the number of words each directed edge may carry per
+	// round. CONGEST is 1 (the default when 0).
+	EdgeCapacity int
+	// MaxRounds aborts the run if exceeded, to turn deadlocked or divergent
+	// programs into errors. Default 1 << 20 when 0.
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.EdgeCapacity <= 0 {
+		o.EdgeCapacity = 1
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 1 << 20
+	}
+	return o
+}
+
+// Stats reports what a run of the real engine actually used.
+type Stats struct {
+	Rounds   int
+	Messages int64
+}
+
+// Network is the real synchronous CONGEST engine over a communication
+// graph. Each node runs a NodeFunc on its own goroutine; rounds advance in
+// lockstep when every live node has reached the barrier; per-edge bandwidth
+// is enforced mechanically (Send fails when the edge is full).
+type Network struct {
+	g    *graph.Graph
+	opts Options
+}
+
+// NewNetwork creates an engine over the communication graph g.
+func NewNetwork(g *graph.Graph, opts Options) *Network {
+	return &Network{g: g, opts: opts.withDefaults()}
+}
+
+// runState is the shared coordinator state of one Run.
+type runState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	net     *Network
+	round   int
+	waiting int
+	active  int
+	aborted bool
+	err     error
+	// outbox[v] holds words queued by v this round, keyed by destination.
+	outbox []map[graph.V][]Word
+	// inbox[v] holds messages delivered to v at the last barrier.
+	inbox    [][]Message
+	messages int64
+}
+
+// Context is the API a NodeFunc uses to interact with the network.
+type Context struct {
+	id graph.V
+	st *runState
+	in []Message
+}
+
+// ID returns this node's vertex ID.
+func (c *Context) ID() graph.V { return c.id }
+
+// N returns the number of nodes in the network.
+func (c *Context) N() int { return c.st.net.g.N() }
+
+// Round returns the current round number (0 before the first barrier).
+func (c *Context) Round() int {
+	c.st.mu.Lock()
+	defer c.st.mu.Unlock()
+	return c.st.round
+}
+
+// Neighbors returns this node's sorted neighbor list (shared; do not modify).
+func (c *Context) Neighbors() []graph.V { return c.st.net.g.Neighbors(c.id) }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.st.net.g.Degree(c.id) }
+
+// HasNeighbor reports whether v is adjacent to this node.
+func (c *Context) HasNeighbor(v graph.V) bool { return c.st.net.g.HasEdge(c.id, v) }
+
+// Send queues one word to neighbor `to` for delivery at the next barrier.
+// It fails if `to` is not a neighbor, if this round's capacity on the edge
+// is exhausted, or if the run has been aborted. Failing on overflow — not
+// silently queueing — is what makes the engine a mechanical check of the
+// CONGEST bandwidth constraint.
+func (c *Context) Send(to graph.V, w Word) error {
+	st := c.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.aborted {
+		return ErrAborted
+	}
+	if !st.net.g.HasEdge(c.id, to) {
+		return fmt.Errorf("congest: node %d sending to non-neighbor %d", c.id, to)
+	}
+	box := st.outbox[c.id]
+	if len(box[to]) >= st.net.opts.EdgeCapacity {
+		return fmt.Errorf("congest: node %d exceeded capacity %d on edge to %d in round %d",
+			c.id, st.net.opts.EdgeCapacity, to, st.round)
+	}
+	box[to] = append(box[to], w)
+	return nil
+}
+
+// Broadcast queues the same word to every neighbor. Same capacity rules as
+// Send.
+func (c *Context) Broadcast(w Word) error {
+	for _, nb := range c.Neighbors() {
+		if err := c.Send(nb, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NextRound blocks at the round barrier and returns the messages delivered
+// to this node, sorted by sender. It returns ErrAborted if the run aborted
+// while waiting.
+func (c *Context) NextRound() ([]Message, error) {
+	st := c.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.aborted {
+		return nil, ErrAborted
+	}
+	gen := st.round
+	st.waiting++
+	if st.waiting >= st.active {
+		st.advanceLocked()
+	} else {
+		for st.round == gen && !st.aborted {
+			st.cond.Wait()
+		}
+	}
+	if st.aborted {
+		return nil, ErrAborted
+	}
+	c.in = st.inbox[c.id]
+	st.inbox[c.id] = nil
+	return c.in, nil
+}
+
+// advanceLocked delivers all queued messages and advances the round.
+// Callers hold st.mu.
+func (st *runState) advanceLocked() {
+	n := st.net.g.N()
+	for v := 0; v < n; v++ {
+		box := st.outbox[v]
+		if len(box) == 0 {
+			continue
+		}
+		for to, words := range box {
+			for _, w := range words {
+				st.inbox[to] = append(st.inbox[to], Message{From: graph.V(v), Word: w})
+				st.messages++
+			}
+			delete(box, to)
+		}
+	}
+	for v := 0; v < n; v++ {
+		in := st.inbox[v]
+		sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	}
+	st.round++
+	st.waiting = 0
+	if st.round > st.net.opts.MaxRounds {
+		st.abortLocked(fmt.Errorf("congest: exceeded MaxRounds=%d", st.net.opts.MaxRounds))
+		return
+	}
+	st.cond.Broadcast()
+}
+
+func (st *runState) abortLocked(err error) {
+	if !st.aborted {
+		st.aborted = true
+		st.err = err
+	}
+	st.cond.Broadcast()
+}
+
+// finish marks a node as done; if all remaining nodes are at the barrier,
+// the round advances.
+func (st *runState) finish() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.active--
+	if st.active > 0 && st.waiting >= st.active && !st.aborted {
+		st.advanceLocked()
+	}
+}
+
+// Run executes prog on every node until all programs return. It returns
+// engine statistics (rounds consumed, total messages delivered) and the
+// first program error, if any. Inboxes are delivered sorted by sender, so
+// runs are deterministic for deterministic programs.
+func (net *Network) Run(prog NodeFunc) (Stats, error) {
+	n := net.g.N()
+	st := &runState{net: net, active: n}
+	st.cond = sync.NewCond(&st.mu)
+	st.outbox = make([]map[graph.V][]Word, n)
+	st.inbox = make([][]Message, n)
+	for v := 0; v < n; v++ {
+		st.outbox[v] = make(map[graph.V][]Word)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		ctx := &Context{id: graph.V(v), st: st}
+		go func() {
+			defer wg.Done()
+			defer st.finish()
+			if err := prog(ctx); err != nil && !errors.Is(err, ErrAborted) {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("node %d: %w", ctx.id, err)
+					st.mu.Lock()
+					st.abortLocked(firstErr)
+					st.mu.Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if firstErr == nil && st.err != nil {
+		firstErr = st.err
+	}
+	return Stats{Rounds: st.round, Messages: st.messages}, firstErr
+}

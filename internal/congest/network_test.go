@@ -1,0 +1,269 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+// floodProgram implements BFS flooding from node 0: each node forwards the
+// token the round after first hearing it, then runs until `rounds` total
+// barriers so everyone stays in lockstep.
+func floodProgram(rounds int) (NodeFunc, *sync.Map) {
+	var dist sync.Map // graph.V -> int round at which token arrived
+	prog := func(ctx *Context) error {
+		have := ctx.ID() == 0
+		if have {
+			dist.Store(ctx.ID(), 0)
+		}
+		sendNext := have
+		for r := 1; r <= rounds; r++ {
+			if sendNext {
+				if err := ctx.Broadcast(Word{Tag: TagToken}); err != nil {
+					return err
+				}
+				sendNext = false
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			for _, m := range in {
+				if m.Word.Tag == TagToken && !have {
+					have = true
+					sendNext = true
+					dist.Store(ctx.ID(), r)
+				}
+			}
+		}
+		return nil
+	}
+	return prog, &dist
+}
+
+func TestNetworkFloodPath(t *testing.T) {
+	g := graph.Path(6)
+	net := NewNetwork(g, Options{})
+	prog, dist := floodProgram(6)
+	stats, err := net.Run(prog)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for v := 0; v < 6; v++ {
+		d, ok := dist.Load(graph.V(v))
+		if !ok {
+			t.Fatalf("node %d never got token", v)
+		}
+		if d.(int) != v {
+			t.Errorf("node %d got token at round %d, want %d", v, d, v)
+		}
+	}
+	if stats.Rounds != 6 {
+		t.Errorf("rounds = %d, want 6", stats.Rounds)
+	}
+	// Each node broadcasts exactly once: total messages = sum of degrees = 2m.
+	if stats.Messages != int64(2*g.M()) {
+		t.Errorf("messages = %d, want %d", stats.Messages, 2*g.M())
+	}
+}
+
+func TestNetworkCapacityEnforced(t *testing.T) {
+	g := graph.Complete(3)
+	net := NewNetwork(g, Options{EdgeCapacity: 1})
+	_, err := net.Run(func(ctx *Context) error {
+		if ctx.ID() == 0 {
+			if err := ctx.Send(1, Word{Tag: TagData}); err != nil {
+				return err
+			}
+			// Second word on the same edge in the same round must fail.
+			if err := ctx.Send(1, Word{Tag: TagData}); err == nil {
+				return errors.New("second send should have failed")
+			}
+		}
+		_, err := ctx.NextRound()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNetworkCapacityTwo(t *testing.T) {
+	g := graph.Complete(2)
+	net := NewNetwork(g, Options{EdgeCapacity: 2})
+	_, err := net.Run(func(ctx *Context) error {
+		if ctx.ID() == 0 {
+			for i := 0; i < 2; i++ {
+				if err := ctx.Send(1, Word{Tag: TagData, A: graph.V(i)}); err != nil {
+					return err
+				}
+			}
+		}
+		in, err := ctx.NextRound()
+		if err != nil {
+			return err
+		}
+		if ctx.ID() == 1 && len(in) != 2 {
+			return fmt.Errorf("got %d messages, want 2", len(in))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNetworkNonNeighborRejected(t *testing.T) {
+	g := graph.Path(3) // 0-1-2; 0 and 2 not adjacent
+	net := NewNetwork(g, Options{})
+	_, err := net.Run(func(ctx *Context) error {
+		if ctx.ID() == 0 {
+			if err := ctx.Send(2, Word{}); err == nil {
+				return errors.New("send to non-neighbor should fail")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNetworkProgramErrorAborts(t *testing.T) {
+	g := graph.Complete(4)
+	net := NewNetwork(g, Options{})
+	wantErr := errors.New("boom")
+	_, err := net.Run(func(ctx *Context) error {
+		if ctx.ID() == 2 {
+			return wantErr
+		}
+		// Other nodes loop forever; the abort must release them.
+		for {
+			if _, err := ctx.NextRound(); err != nil {
+				return err
+			}
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want boom error, got %v", err)
+	}
+}
+
+func TestNetworkMaxRoundsAborts(t *testing.T) {
+	g := graph.Complete(2)
+	net := NewNetwork(g, Options{MaxRounds: 10})
+	_, err := net.Run(func(ctx *Context) error {
+		for {
+			if _, err := ctx.NextRound(); err != nil {
+				return err
+			}
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "MaxRounds") {
+		t.Fatalf("want MaxRounds error, got %v", err)
+	}
+}
+
+func TestNetworkInboxSortedBySender(t *testing.T) {
+	g := graph.Complete(8)
+	net := NewNetwork(g, Options{})
+	_, err := net.Run(func(ctx *Context) error {
+		if ctx.ID() != 0 {
+			if err := ctx.Send(0, Word{Tag: TagData, A: ctx.ID()}); err != nil {
+				return err
+			}
+		}
+		in, err := ctx.NextRound()
+		if err != nil {
+			return err
+		}
+		if ctx.ID() == 0 {
+			if len(in) != 7 {
+				return fmt.Errorf("got %d messages", len(in))
+			}
+			for i := 1; i < len(in); i++ {
+				if in[i-1].From >= in[i].From {
+					return fmt.Errorf("inbox not sorted: %v then %v", in[i-1].From, in[i].From)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestNetworkEarlyExitDoesNotDeadlock(t *testing.T) {
+	// Half the nodes exit immediately; the rest do 3 rounds.
+	g := graph.Complete(6)
+	net := NewNetwork(g, Options{})
+	stats, err := net.Run(func(ctx *Context) error {
+		if ctx.ID()%2 == 0 {
+			return nil
+		}
+		for r := 0; r < 3; r++ {
+			if _, err := ctx.NextRound(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Rounds < 3 {
+		t.Errorf("rounds = %d, want ≥ 3", stats.Rounds)
+	}
+}
+
+func TestNetworkDeterministic(t *testing.T) {
+	g := graph.Cycle(10)
+	collect := func() []int {
+		net := NewNetwork(g, Options{})
+		var mu sync.Mutex
+		var log []int
+		_, err := net.Run(func(ctx *Context) error {
+			if err := ctx.Broadcast(Word{Tag: TagData, A: ctx.ID()}); err != nil {
+				return err
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			sum := 0
+			for _, m := range in {
+				sum += int(m.Word.A)
+			}
+			mu.Lock()
+			log = append(log, sum*1000+int(ctx.ID()))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+	a, b := collect(), collect()
+	counts := func(s []int) map[int]int {
+		m := make(map[int]int)
+		for _, x := range s {
+			m[x]++
+		}
+		return m
+	}
+	ca, cb := counts(a), counts(b)
+	if len(ca) != len(cb) {
+		t.Fatal("nondeterministic results")
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Fatal("nondeterministic results")
+		}
+	}
+}

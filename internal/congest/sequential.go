@@ -1,0 +1,85 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+
+	"kplist/internal/graph"
+)
+
+// Machine is the per-node program interface of the sequential engine: an
+// explicit state machine stepped once per round. The sequential engine has
+// identical semantics to the goroutine Network (same per-edge capacity,
+// same sorted delivery order) and exists for deterministic debugging and
+// for cross-validating the real engine; the equivalence is tested.
+type Machine interface {
+	// Step is invoked once per round with the messages delivered this
+	// round (sorted by sender). The machine sends by calling send, which
+	// enforces the per-edge capacity exactly like Context.Send. Returning
+	// done=true ends this node's participation; its queued messages are
+	// still delivered.
+	Step(round int, in []Message, send func(to graph.V, w Word) error) (done bool, err error)
+}
+
+// MachineMaker constructs the machine for each node.
+type MachineMaker func(id graph.V, g *graph.Graph) Machine
+
+// RunSequential executes machines over g in lockstep rounds, sequentially
+// and deterministically, until every machine reports done. Semantics match
+// Network.Run.
+func RunSequential(g *graph.Graph, mk MachineMaker, opts Options) (Stats, error) {
+	opts = opts.withDefaults()
+	n := g.N()
+	machines := make([]Machine, n)
+	done := make([]bool, n)
+	for v := 0; v < n; v++ {
+		machines[v] = mk(graph.V(v), g)
+	}
+	inbox := make([][]Message, n)
+	next := make([][]Message, n)
+	var messages int64
+	round := 0
+	live := n
+	for live > 0 {
+		if round > opts.MaxRounds {
+			return Stats{Rounds: round, Messages: messages}, fmt.Errorf("congest: exceeded MaxRounds=%d", opts.MaxRounds)
+		}
+		sent := make(map[[2]graph.V]int)
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			id := graph.V(v)
+			send := func(to graph.V, w Word) error {
+				if !g.HasEdge(id, to) {
+					return fmt.Errorf("congest: node %d sending to non-neighbor %d", id, to)
+				}
+				key := [2]graph.V{id, to}
+				if sent[key] >= opts.EdgeCapacity {
+					return fmt.Errorf("congest: node %d exceeded capacity %d on edge to %d in round %d",
+						id, opts.EdgeCapacity, to, round)
+				}
+				sent[key]++
+				next[to] = append(next[to], Message{From: id, Word: w})
+				messages++
+				return nil
+			}
+			d, err := machines[v].Step(round, inbox[v], send)
+			if err != nil {
+				return Stats{Rounds: round, Messages: messages}, fmt.Errorf("node %d: %w", v, err)
+			}
+			if d {
+				done[v] = true
+				live--
+			}
+		}
+		for v := 0; v < n; v++ {
+			in := next[v]
+			sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+			inbox[v] = in
+			next[v] = nil
+		}
+		round++
+	}
+	return Stats{Rounds: round, Messages: messages}, nil
+}

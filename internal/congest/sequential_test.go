@@ -1,0 +1,222 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+// floodMachine mirrors floodProgram for the sequential engine.
+type floodMachine struct {
+	id       graph.V
+	g        *graph.Graph
+	have     bool
+	sendNext bool
+	arrived  int
+	total    int
+}
+
+func (m *floodMachine) Step(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+	for _, msg := range in {
+		if msg.Word.Tag == TagToken && !m.have {
+			m.have = true
+			m.sendNext = true
+			m.arrived = round
+		}
+	}
+	if m.sendNext {
+		for _, nb := range m.g.Neighbors(m.id) {
+			if err := send(nb, Word{Tag: TagToken}); err != nil {
+				return false, err
+			}
+		}
+		m.sendNext = false
+	}
+	return round >= m.total, nil
+}
+
+func TestSequentialFloodPath(t *testing.T) {
+	g := graph.Path(6)
+	machines := make([]*floodMachine, g.N())
+	_, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		m := &floodMachine{id: id, g: gg, total: 7}
+		if id == 0 {
+			m.have = true
+			m.sendNext = true
+			m.arrived = 0
+		}
+		machines[id] = m
+		return m
+	}, Options{})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+	for v, m := range machines {
+		if !m.have {
+			t.Fatalf("node %d never received token", v)
+		}
+		if m.arrived != v {
+			t.Errorf("node %d arrived at %d, want %d", v, m.arrived, v)
+		}
+	}
+}
+
+// TestEnginesAgreeOnFlood cross-validates the two engines: identical
+// arrival rounds and identical message totals for the same protocol.
+func TestEnginesAgreeOnFlood(t *testing.T) {
+	g := graph.Cycle(9)
+
+	// Sequential run.
+	seqArr := make(map[graph.V]int)
+	seqStats, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		m := &floodMachine{id: id, g: gg, total: 10}
+		if id == 0 {
+			m.have, m.sendNext = true, true
+		}
+		return m
+	}, Options{})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	// Re-run to harvest arrivals (machines are private to the maker above).
+	machines := make([]*floodMachine, g.N())
+	if _, err = RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		m := &floodMachine{id: id, g: gg, total: 10}
+		if id == 0 {
+			m.have, m.sendNext = true, true
+		}
+		machines[id] = m
+		return m
+	}, Options{}); err != nil {
+		t.Fatalf("sequential rerun: %v", err)
+	}
+	for _, m := range machines {
+		seqArr[m.id] = m.arrived
+	}
+
+	// Real engine run.
+	prog, dist := floodProgram(10)
+	netStats, err := NewNetwork(g, Options{}).Run(prog)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		d, ok := dist.Load(graph.V(v))
+		if !ok {
+			t.Fatalf("network: node %d missing token", v)
+		}
+		if d.(int) != seqArr[graph.V(v)] {
+			t.Errorf("node %d: network arrival %v, sequential %d", v, d, seqArr[graph.V(v)])
+		}
+	}
+	if netStats.Messages != seqStats.Messages {
+		t.Errorf("message totals differ: network %d, sequential %d", netStats.Messages, seqStats.Messages)
+	}
+}
+
+func TestSequentialCapacityEnforced(t *testing.T) {
+	g := graph.Complete(2)
+	_, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		return machineFunc(func(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+			if id == 0 && round == 0 {
+				if err := send(1, Word{}); err != nil {
+					return false, err
+				}
+				if err := send(1, Word{}); err == nil {
+					return false, errors.New("second send should fail")
+				}
+			}
+			return true, nil
+		})
+	}, Options{EdgeCapacity: 1})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+}
+
+func TestSequentialNonNeighborRejected(t *testing.T) {
+	g := graph.Path(3)
+	_, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		return machineFunc(func(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+			if id == 0 {
+				if err := send(2, Word{}); err == nil {
+					return false, errors.New("non-neighbor send should fail")
+				}
+			}
+			return true, nil
+		})
+	}, Options{})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+}
+
+func TestSequentialErrorPropagates(t *testing.T) {
+	g := graph.Complete(3)
+	_, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		return machineFunc(func(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+			if id == 1 {
+				return false, errors.New("kaput")
+			}
+			return true, nil
+		})
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Fatalf("want kaput, got %v", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "node 1") {
+		t.Errorf("error should identify the node: %v", err)
+	}
+}
+
+func TestSequentialMaxRounds(t *testing.T) {
+	g := graph.Complete(2)
+	_, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		return machineFunc(func(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+			return false, nil // never done
+		})
+	}, Options{MaxRounds: 5})
+	if err == nil || !strings.Contains(err.Error(), "MaxRounds") {
+		t.Fatalf("want MaxRounds error, got %v", err)
+	}
+}
+
+func TestSequentialInboxSorted(t *testing.T) {
+	g := graph.Complete(6)
+	_, err := RunSequential(g, func(id graph.V, gg *graph.Graph) Machine {
+		return machineFunc(func(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+			switch round {
+			case 0:
+				if id != 0 {
+					return false, send(0, Word{Tag: TagData, A: id})
+				}
+				return false, nil
+			default:
+				if id == 0 {
+					if len(in) != 5 {
+						return false, fmt.Errorf("got %d messages", len(in))
+					}
+					for i := 1; i < len(in); i++ {
+						if in[i-1].From >= in[i].From {
+							return false, errors.New("inbox not sorted")
+						}
+					}
+				}
+				return true, nil
+			}
+		})
+	}, Options{})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+}
+
+// machineFunc adapts a function to the Machine interface.
+type machineFunc func(round int, in []Message, send func(graph.V, Word) error) (bool, error)
+
+func (f machineFunc) Step(round int, in []Message, send func(graph.V, Word) error) (bool, error) {
+	return f(round, in, send)
+}

@@ -1,0 +1,38 @@
+// Package congest implements the CONGEST and CONGESTED CLIQUE execution
+// substrates: a real synchronous message-passing engine (one goroutine per
+// node, lockstep rounds, per-edge bandwidth enforced mechanically), a
+// deterministic sequential engine with the same semantics, and the round
+// ledger / cost model that the higher-level algorithm phases charge against.
+//
+// The model (paper footnotes 1 and 3): n nodes communicate in synchronous
+// rounds; per round, each edge carries O(log n) bits in each direction. We
+// fix the unit "word" to one edge's worth of payload (two vertex IDs plus a
+// small tag), which is the accounting the paper itself uses.
+package congest
+
+import "kplist/internal/graph"
+
+// Word is one CONGEST message payload: O(log n) bits. Two vertex IDs and a
+// tag is exactly what every phase of the clique-listing pipeline sends
+// (an edge, a part choice, a membership bit, ...).
+type Word struct {
+	Tag  uint8
+	A, B graph.V
+}
+
+// Common word tags used by programs in this repository. Programs may define
+// their own tags; these cover the built-in baselines and tests.
+const (
+	TagData  uint8 = iota + 1 // generic payload
+	TagEdge                   // A,B encode an edge
+	TagQuery                  // A encodes a queried vertex
+	TagReply                  // A encodes subject, B encodes 0/1 answer
+	TagToken                  // control token
+)
+
+// Message is a word annotated with its sender, as delivered to a node's
+// inbox.
+type Message struct {
+	From graph.V
+	Word Word
+}

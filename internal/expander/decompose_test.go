@@ -1,0 +1,305 @@
+package expander
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kplist/internal/congest"
+	"kplist/internal/graph"
+)
+
+func decompose(t *testing.T, g *graph.Graph, params Params) *Decomposition {
+	t.Helper()
+	var ledger congest.Ledger
+	d, err := Decompose(g.N(), graph.NewEdgeList(g.Edges()), params, congest.UnitCosts(), &ledger)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := d.Check(g.N(), graph.NewEdgeList(g.Edges())); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if ledger.Rounds() == 0 {
+		t.Error("decomposition charged zero rounds")
+	}
+	return d
+}
+
+func TestDecomposeComplete(t *testing.T) {
+	g := graph.Complete(40)
+	d := decompose(t, g, Params{Threshold: 5, Seed: 1})
+	if len(d.Clusters) != 1 {
+		t.Fatalf("K40 should be one cluster, got %d", len(d.Clusters))
+	}
+	cl := d.Clusters[0]
+	if cl.K() != 40 {
+		t.Errorf("cluster size = %d, want 40", cl.K())
+	}
+	if cl.MinDegree != 39 {
+		t.Errorf("min degree = %d, want 39", cl.MinDegree)
+	}
+	if len(d.Er) != 0 || len(d.Es) != 0 {
+		t.Errorf("complete graph should be pure Em: |Es|=%d |Er|=%d", len(d.Es), len(d.Er))
+	}
+	if cl.MixingTime > 50 {
+		t.Errorf("K40 mixing estimate %v absurdly high", cl.MixingTime)
+	}
+}
+
+func TestDecomposeSparseAllPeeled(t *testing.T) {
+	g := graph.Cycle(50)
+	d := decompose(t, g, Params{Threshold: 3, Seed: 1})
+	if len(d.Clusters) != 0 {
+		t.Errorf("cycle should fully peel, got %d clusters", len(d.Clusters))
+	}
+	if len(d.Es) != g.M() {
+		t.Errorf("|Es| = %d, want all %d edges", len(d.Es), g.M())
+	}
+	if d.EsOrient.MaxOutDegree() > 3 {
+		t.Errorf("Es out-degree %d > threshold", d.EsOrient.MaxOutDegree())
+	}
+}
+
+func TestDecomposeBarbellSplits(t *testing.T) {
+	// Two K20s joined by a single path: the spectral cut must separate the
+	// bells (bridge into Er or Es), yielding two clusters.
+	g := graph.Barbell(20, 3)
+	d := decompose(t, g, Params{Threshold: 4, Seed: 3})
+	if len(d.Clusters) != 2 {
+		t.Fatalf("barbell should split into 2 clusters, got %d", len(d.Clusters))
+	}
+	for _, cl := range d.Clusters {
+		if cl.K() != 20 {
+			t.Errorf("cluster size = %d, want 20", cl.K())
+		}
+	}
+}
+
+func TestDecomposeErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ErdosRenyi(300, 0.1, rng)
+	d := decompose(t, g, Params{Threshold: 8, Seed: 5})
+	// A supercritical ER graph is an expander: expect one big cluster
+	// holding most edges.
+	if len(d.Clusters) == 0 {
+		t.Fatal("expected at least one cluster")
+	}
+	if float64(len(d.Em)) < 0.5*float64(g.M()) {
+		t.Errorf("Em holds %d/%d edges; expected the bulk", len(d.Em), g.M())
+	}
+	if len(d.Er) > g.M()/6 {
+		t.Errorf("|Er| = %d exceeds budget %d", len(d.Er), g.M()/6)
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	g := graph.MustNew(10, nil)
+	d := decompose(t, g, Params{Threshold: 2, Seed: 1})
+	if len(d.Clusters) != 0 || len(d.Em) != 0 || len(d.Es) != 0 || len(d.Er) != 0 {
+		t.Error("empty graph should decompose to nothing")
+	}
+}
+
+func TestDecomposeDefaultParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ErdosRenyi(200, 0.15, rng)
+	var ledger congest.Ledger
+	d, err := Decompose(g.N(), graph.NewEdgeList(g.Edges()), Params{Seed: 6}, congest.UnitCosts(), &ledger)
+	if err != nil {
+		t.Fatalf("Decompose with defaults: %v", err)
+	}
+	if err := d.Check(g.N(), graph.NewEdgeList(g.Edges())); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if d.Threshold < 1 {
+		t.Error("default threshold should be ≥ 1")
+	}
+}
+
+func TestDecomposeErBudgetFailureInjection(t *testing.T) {
+	// An adversarially high Phi forces cutting everywhere, blowing the Er
+	// budget on a graph of loosely-connected dense pockets; the algorithm
+	// must reject rather than silently violate the invariant.
+	rng := rand.New(rand.NewSource(7))
+	var edges []graph.Edge
+	// 8 pockets of K12 connected in a ring by single edges.
+	const k, pockets = 12, 8
+	for pkt := 0; pkt < pockets; pkt++ {
+		base := graph.V(pkt * k)
+		for i := graph.V(0); i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j})
+			}
+		}
+		next := graph.V(((pkt + 1) % pockets) * k)
+		edges = append(edges, graph.Edge{U: base, V: next})
+	}
+	_ = rng
+	el := graph.NewEdgeList(edges)
+	var ledger congest.Ledger
+	_, err := Decompose(k*pockets, el, Params{Threshold: 3, Phi: 0.9, ErFraction: 0.01, Seed: 7},
+		congest.UnitCosts(), &ledger)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("want Er budget error, got %v", err)
+	}
+}
+
+func TestClusterIDs(t *testing.T) {
+	g := graph.Complete(10)
+	d := decompose(t, g, Params{Threshold: 3, Seed: 2})
+	cl := d.Clusters[0]
+	for i := 0; i < cl.K(); i++ {
+		v := cl.ByNewID(i)
+		if cl.NewID(v) != i {
+			t.Errorf("NewID(ByNewID(%d)) = %d", i, cl.NewID(v))
+		}
+		if !cl.Contains(v) {
+			t.Errorf("Contains(%d) false for member", v)
+		}
+	}
+	if cl.NewID(999) != -1 || cl.Contains(999) {
+		t.Error("non-member should have no ID")
+	}
+}
+
+func TestClusterOfMapping(t *testing.T) {
+	g := graph.Barbell(15, 3)
+	d := decompose(t, g, Params{Threshold: 4, Seed: 4})
+	for _, cl := range d.Clusters {
+		for _, v := range cl.Nodes {
+			if d.ClusterOf[v] != cl.ID {
+				t.Errorf("ClusterOf[%d] = %d, want %d", v, d.ClusterOf[v], cl.ID)
+			}
+		}
+	}
+	// Bridge midpoints belong to no cluster.
+	noCluster := 0
+	for v := 0; v < g.N(); v++ {
+		if d.ClusterOf[v] == -1 {
+			noCluster++
+		}
+	}
+	if noCluster == 0 {
+		t.Error("expected some unclustered vertices (bridge path)")
+	}
+}
+
+// Property: the decomposition invariants hold across random graphs,
+// densities, and thresholds.
+func TestQuickDecomposeInvariants(t *testing.T) {
+	f := func(seed int64, thrRaw, densRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		density := 0.05 + float64(densRaw%100)/400.0
+		g := graph.ErdosRenyi(120, density, rng)
+		el := graph.NewEdgeList(g.Edges())
+		thr := 2 + int(thrRaw%6)
+		var ledger congest.Ledger
+		d, err := Decompose(g.N(), el, Params{Threshold: thr, Seed: seed}, congest.UnitCosts(), &ledger)
+		if err != nil {
+			return false
+		}
+		return d.Check(g.N(), el) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClusterMixingIsReal validates the spectral gate with an actual random
+// walk: from the worst-case start vertex, the walk's TV distance to
+// stationarity after c·log^2(vol) lazy steps must be small for every
+// declared cluster.
+func TestClusterMixingIsReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.ErdosRenyi(250, 0.08, rng)
+	d := decompose(t, g, Params{Threshold: 5, Seed: 11})
+	if len(d.Clusters) == 0 {
+		t.Skip("no clusters formed")
+	}
+	for _, cl := range d.Clusters {
+		comps := buildComponents(g.N(), cl.Edges)
+		if len(comps) != 1 {
+			t.Fatalf("cluster %d not a single component", cl.ID)
+		}
+		comp := comps[0]
+		lg := float64(congest.Log2Ceil(int(comp.vol)))
+		steps := int(20 * lg * lg)
+		worst := 0.0
+		for start := 0; start < len(comp.verts); start += maxInt(1, len(comp.verts)/8) {
+			if tv := comp.WalkTVDistance(start, steps); tv > worst {
+				worst = tv
+			}
+		}
+		if worst > 0.3 {
+			t.Errorf("cluster %d: TV distance %v after %d steps; not mixing", cl.ID, worst, steps)
+		}
+	}
+}
+
+func TestSpectralOnExpander(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := graph.RandomRegular(200, 10, rng)
+	comps := buildComponents(g.N(), graph.NewEdgeList(g.Edges()))
+	if len(comps) != 1 {
+		t.Skip("random regular graph disconnected")
+	}
+	sr := comps[0].analyze(400, rng)
+	if sr.Gap < 0.05 {
+		t.Errorf("random 10-regular graph should have a healthy gap, got %v", sr.Gap)
+	}
+	if sr.MixingTime > 500 {
+		t.Errorf("mixing estimate %v too high for an expander", sr.MixingTime)
+	}
+}
+
+func TestSweepCutFindsBarbellBottleneck(t *testing.T) {
+	g := graph.Barbell(15, 1) // single bridge edge
+	rng := rand.New(rand.NewSource(17))
+	comps := buildComponents(g.N(), graph.NewEdgeList(g.Edges()))
+	if len(comps) != 1 {
+		t.Fatal("barbell should be connected")
+	}
+	comp := comps[0]
+	sr := comp.analyze(600, rng)
+	prefix, phi, cut, ok := comp.sweepCut(sr)
+	if !ok {
+		t.Fatal("sweep cut failed")
+	}
+	if cut != 1 {
+		t.Errorf("barbell best cut = %d edges, want 1 (the bridge)", cut)
+	}
+	if phi > 0.02 {
+		t.Errorf("bridge conductance %v too high", phi)
+	}
+	if len(prefix) != 15 {
+		t.Errorf("cut side has %d vertices, want 15", len(prefix))
+	}
+}
+
+// TestCavemanRecovery: on a caveman ring (dense caves, single bridges) the
+// decomposition must split the ring — no cluster may span all caves, and
+// no cave may be split across clusters.
+func TestCavemanRecovery(t *testing.T) {
+	const caves, k = 6, 16
+	g := graph.Caveman(caves, k)
+	d := decompose(t, g, Params{Threshold: 5, Seed: 21})
+	if len(d.Clusters) < 2 {
+		t.Fatalf("caveman ring stayed in %d cluster(s); the sparse bridges should be cut", len(d.Clusters))
+	}
+	for _, cl := range d.Clusters {
+		caveOf := func(v graph.V) int { return int(v) / k }
+		// Every cave with ≥ 2 members of this cluster must be entirely
+		// within one cluster (the decomposition may peel a couple of
+		// bridge-adjacent vertices, but must not tear a cave in two).
+		counts := make(map[int]int)
+		for _, v := range cl.Nodes {
+			counts[caveOf(v)]++
+		}
+		for cave, c := range counts {
+			if c > 1 && c < k-2 {
+				t.Errorf("cave %d torn: only %d/%d members in cluster %d", cave, c, k, cl.ID)
+			}
+		}
+	}
+}

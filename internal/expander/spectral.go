@@ -1,0 +1,307 @@
+// Package expander implements the δ-expander decomposition of Chang et al.
+// (SODA 2019) as consumed by the paper (Definitions 2.1–2.2, Theorem 2.3):
+// the edge set is partitioned into E = Em ∪ Es ∪ Er where the connected
+// components of Em are clusters with high minimum degree and polylog mixing
+// time, Es has a low-arboricity orientation, and |Er| ≤ |E|/6.
+//
+// The construction here is a real decomposition algorithm — iterated
+// low-degree peeling plus spectral sweep-cut splitting — computed centrally
+// and charged Õ(n^{1−δ}) rounds per Theorem 2.3 (see DESIGN.md,
+// substitution 1). All advertised invariants are verified by Check and by
+// the package tests.
+package expander
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"kplist/internal/graph"
+)
+
+// component is a connected piece of the working graph during decomposition:
+// a vertex list plus local adjacency (indices into verts).
+type component struct {
+	verts []graph.V
+	adj   [][]int32 // adj[i] = local indices adjacent to verts[i]
+	vol   int64     // sum of degrees = 2 * edge count
+}
+
+// buildComponents splits an edge set into connected components with local
+// adjacency. Isolated vertices are not reported (they own no edges).
+func buildComponents(n int, el graph.EdgeList) []*component {
+	adj := make(map[graph.V][]graph.V, n)
+	for _, e := range el {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	visited := make(map[graph.V]bool, len(adj))
+	var comps []*component
+	// Deterministic iteration order.
+	verts := make([]graph.V, 0, len(adj))
+	for v := range adj {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	for _, s := range verts {
+		if visited[s] {
+			continue
+		}
+		var members []graph.V
+		queue := []graph.V{s}
+		visited[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			members = append(members, v)
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		local := make(map[graph.V]int32, len(members))
+		for i, v := range members {
+			local[v] = int32(i)
+		}
+		c := &component{verts: members, adj: make([][]int32, len(members))}
+		for i, v := range members {
+			for _, w := range adj[v] {
+				c.adj[i] = append(c.adj[i], local[w])
+			}
+			sort.Slice(c.adj[i], func(a, b int) bool { return c.adj[i][a] < c.adj[i][b] })
+			c.vol += int64(len(c.adj[i]))
+		}
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// edges returns the component's edge list in original vertex IDs.
+func (c *component) edges() graph.EdgeList {
+	var out graph.EdgeList
+	for i := range c.adj {
+		for _, j := range c.adj[i] {
+			if int32(i) < j {
+				out = append(out, graph.Edge{U: c.verts[i], V: c.verts[j]}.Canon())
+			}
+		}
+	}
+	out.Normalize()
+	return out
+}
+
+// minDegree returns the minimum degree within the component.
+func (c *component) minDegree() int {
+	if len(c.adj) == 0 {
+		return 0
+	}
+	min := len(c.adj[0])
+	for i := 1; i < len(c.adj); i++ {
+		if len(c.adj[i]) < min {
+			min = len(c.adj[i])
+		}
+	}
+	return min
+}
+
+// SpectralResult carries the spectral analysis of one component.
+type SpectralResult struct {
+	// Lambda2 is the estimated second eigenvalue of the lazy random walk.
+	Lambda2 float64
+	// Gap is 1 − Lambda2.
+	Gap float64
+	// MixingTime is the standard lazy-walk mixing estimate
+	// log(vol)/gap, in rounds.
+	MixingTime float64
+	// SweepValues orders vertices for the sweep cut (Fiedler-style).
+	order []int32
+}
+
+// analyze runs deflated power iteration on the lazy normalized adjacency
+// M = (I + D^{-1/2} A D^{-1/2})/2 of the component, estimating λ2 and the
+// Fiedler ordering for the sweep cut.
+func (c *component) analyze(iters int, rng *rand.Rand) SpectralResult {
+	k := len(c.verts)
+	if k <= 1 || c.vol == 0 {
+		return SpectralResult{Lambda2: 0, Gap: 1, MixingTime: 0}
+	}
+	sqrtDeg := make([]float64, k)
+	for i := range c.adj {
+		sqrtDeg[i] = math.Sqrt(float64(len(c.adj[i])))
+	}
+	// Principal eigenvector of M is proportional to sqrtDeg; deflate it.
+	phiNorm := 0.0
+	for i := range sqrtDeg {
+		phiNorm += sqrtDeg[i] * sqrtDeg[i]
+	}
+	phiNorm = math.Sqrt(phiNorm)
+	phi := make([]float64, k)
+	for i := range sqrtDeg {
+		phi[i] = sqrtDeg[i] / phiNorm
+	}
+	x := make([]float64, k)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, k)
+	deflate := func(v []float64) {
+		dot := 0.0
+		for i := range v {
+			dot += v[i] * phi[i]
+		}
+		for i := range v {
+			v[i] -= dot * phi[i]
+		}
+	}
+	normalize := func(v []float64) float64 {
+		s := 0.0
+		for i := range v {
+			s += v[i] * v[i]
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return 0
+		}
+		for i := range v {
+			v[i] /= s
+		}
+		return s
+	}
+	deflate(x)
+	if normalize(x) == 0 {
+		// Pathological start; restart deterministic.
+		for i := range x {
+			x[i] = float64(i%3) - 1
+		}
+		deflate(x)
+		normalize(x)
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		// y = M x where M = (I + D^{-1/2} A D^{-1/2}) / 2.
+		for i := range y {
+			sum := 0.0
+			for _, j := range c.adj[i] {
+				sum += x[j] / (sqrtDeg[i] * sqrtDeg[j])
+			}
+			y[i] = (x[i] + sum) / 2
+		}
+		deflate(y)
+		lambda = normalize(y)
+		x, y = y, x
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	if lambda < 0 {
+		lambda = 0
+	}
+	gap := 1 - lambda
+	if gap < 1e-12 {
+		gap = 1e-12
+	}
+	// Sweep order by the Fiedler value x[i]/sqrtDeg[i].
+	order := make([]int32, k)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va := x[order[a]] / sqrtDeg[order[a]]
+		vb := x[order[b]] / sqrtDeg[order[b]]
+		if va != vb {
+			return va < vb
+		}
+		return order[a] < order[b]
+	})
+	return SpectralResult{
+		Lambda2:    lambda,
+		Gap:        gap,
+		MixingTime: math.Log(float64(c.vol)+2) / gap,
+		order:      order,
+	}
+}
+
+// sweepCut scans prefixes of the Fiedler order and returns the best
+// (lowest-conductance) cut: the prefix set (as local indices), its
+// conductance, and the number of cut edges. Returns ok=false for
+// components too small to cut.
+func (c *component) sweepCut(sr SpectralResult) (prefix []int32, conductance float64, cutEdges int64, ok bool) {
+	k := len(c.verts)
+	if k < 2 || len(sr.order) != k {
+		return nil, 0, 0, false
+	}
+	inS := make([]bool, k)
+	var volS, cut int64
+	best := math.Inf(1)
+	bestIdx := -1
+	var bestCut int64
+	for idx := 0; idx < k-1; idx++ {
+		v := sr.order[idx]
+		// Moving v into S: every edge to S stops being cut, every edge to
+		// the outside becomes cut.
+		var toS int64
+		for _, w := range c.adj[v] {
+			if inS[w] {
+				toS++
+			}
+		}
+		cut += int64(len(c.adj[v])) - 2*toS
+		volS += int64(len(c.adj[v]))
+		inS[v] = true
+		volT := c.vol - volS
+		den := volS
+		if volT < den {
+			den = volT
+		}
+		if den <= 0 {
+			continue
+		}
+		phi := float64(cut) / float64(den)
+		if phi < best {
+			best = phi
+			bestIdx = idx
+			bestCut = cut
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0, 0, false
+	}
+	pre := make([]int32, bestIdx+1)
+	copy(pre, sr.order[:bestIdx+1])
+	return pre, best, bestCut, true
+}
+
+// WalkTVDistance simulates t steps of the lazy random walk on the component
+// from the distribution concentrated at start (a local index) and returns
+// the total-variation distance to the stationary distribution. Used by
+// tests to validate that declared clusters genuinely mix fast.
+func (c *component) WalkTVDistance(start int, t int) float64 {
+	k := len(c.verts)
+	p := make([]float64, k)
+	q := make([]float64, k)
+	p[start] = 1
+	for step := 0; step < t; step++ {
+		for i := range q {
+			q[i] = p[i] / 2
+		}
+		for i := range c.adj {
+			if p[i] == 0 {
+				continue
+			}
+			share := p[i] / 2 / float64(len(c.adj[i]))
+			for _, j := range c.adj[i] {
+				q[j] += share
+			}
+		}
+		p, q = q, p
+	}
+	tv := 0.0
+	for i := range p {
+		pi := float64(len(c.adj[i])) / float64(c.vol)
+		tv += math.Abs(p[i] - pi)
+	}
+	return tv / 2
+}

@@ -1,0 +1,292 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Clique is a set of p vertices, stored sorted ascending. It is the unit of
+// output of every listing algorithm in this repository.
+type Clique []V
+
+// Key packs the clique into a string usable as a map key. The clique must
+// already be sorted (all producers in this repository sort).
+func (c Clique) Key() string {
+	buf := make([]byte, 4*len(c))
+	for i, v := range c {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+// CliqueFromKey reverses Clique.Key.
+func CliqueFromKey(k string) Clique {
+	c := make(Clique, len(k)/4)
+	for i := range c {
+		c[i] = V(binary.LittleEndian.Uint32([]byte(k[4*i : 4*i+4])))
+	}
+	return c
+}
+
+func (c Clique) String() string {
+	return fmt.Sprintf("%v", []V(c))
+}
+
+// CliqueSet is a set of cliques, used to compare algorithm output against
+// ground truth exactly.
+type CliqueSet map[string]struct{}
+
+// NewCliqueSet builds a set from a list of cliques, sorting each.
+func NewCliqueSet(cs []Clique) CliqueSet {
+	s := make(CliqueSet, len(cs))
+	for _, c := range cs {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts a copy of c (sorted) into the set.
+func (s CliqueSet) Add(c Clique) {
+	cp := make(Clique, len(c))
+	copy(cp, c)
+	sortV(cp)
+	s[cp.Key()] = struct{}{}
+}
+
+// Has reports membership of c (order-insensitive).
+func (s CliqueSet) Has(c Clique) bool {
+	cp := make(Clique, len(c))
+	copy(cp, c)
+	sortV(cp)
+	_, ok := s[cp.Key()]
+	return ok
+}
+
+// Len returns the number of cliques in the set.
+func (s CliqueSet) Len() int { return len(s) }
+
+// Equal reports exact set equality.
+func (s CliqueSet) Equal(t CliqueSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns the cliques in s that are not in t, sorted.
+func (s CliqueSet) Minus(t CliqueSet) []Clique {
+	var out []Clique
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			out = append(out, CliqueFromKey(k))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
+	return out
+}
+
+// Cliques returns the members sorted lexicographically.
+func (s CliqueSet) Cliques() []Clique {
+	out := make([]Clique, 0, len(s))
+	for k := range s {
+		out = append(out, CliqueFromKey(k))
+	}
+	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
+	return out
+}
+
+func lessClique(a, b Clique) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ListCliques enumerates every clique of exactly p vertices in g, returning
+// them sorted. This is the sequential ground truth: it uses the degeneracy
+// order so each clique is produced exactly once from its earliest vertex,
+// with running time O(m · d^{p-2}) where d is the degeneracy.
+func (g *Graph) ListCliques(p int) []Clique {
+	var out []Clique
+	g.VisitCliques(p, func(c Clique) {
+		cp := make(Clique, len(c))
+		copy(cp, c)
+		out = append(out, cp)
+	})
+	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
+	return out
+}
+
+// CountCliques counts cliques of exactly p vertices without materializing
+// them.
+func (g *Graph) CountCliques(p int) int64 {
+	var count int64
+	g.VisitCliques(p, func(Clique) { count++ })
+	return count
+}
+
+// VisitCliques calls yield once per p-clique. The clique slice is reused
+// between calls; yield must copy it to retain it. Vertices within each
+// yielded clique are sorted ascending.
+func (g *Graph) VisitCliques(p int, yield func(Clique)) {
+	if p <= 0 {
+		return
+	}
+	if p == 1 {
+		c := make(Clique, 1)
+		for v := 0; v < g.n; v++ {
+			c[0] = V(v)
+			yield(c)
+		}
+		return
+	}
+	res := g.Degeneracy()
+	rank := res.Rank
+	// laterAdj[v] = neighbors of v with larger rank, sorted by vertex ID.
+	laterAdj := make([][]V, g.n)
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.adj[v] {
+			if rank[v] < rank[w] {
+				laterAdj[v] = append(laterAdj[v], w)
+			}
+		}
+	}
+	prefix := make(Clique, 0, p)
+	scratch := make(Clique, p)
+	// Root level: each vertex with its later-rank neighborhood, so every
+	// clique is produced exactly once, rooted at its earliest-rank vertex.
+	for v := 0; v < g.n; v++ {
+		if len(laterAdj[v]) < p-1 {
+			continue
+		}
+		prefix = append(prefix, V(v))
+		recurse(g, laterAdj[v], p-1, &prefix, scratch, yield)
+		prefix = prefix[:0]
+	}
+}
+
+// recurse extends the current prefix with vertices from cands (sorted by ID,
+// all adjacent to every prefix vertex), needing `need` more vertices. The
+// prefix is in rank-then-ID order, not ID order, so completed cliques are
+// copied into scratch and sorted there; the prefix itself is never mutated
+// except by push/pop.
+func recurse(g *Graph, cands []V, need int, prefix *Clique, scratch Clique, yield func(Clique)) {
+	for i, v := range cands {
+		if len(cands)-i < need {
+			return
+		}
+		*prefix = append(*prefix, v)
+		if need == 1 {
+			copy(scratch, *prefix)
+			sortV(scratch)
+			yield(scratch)
+		} else {
+			next := IntersectSorted(cands[i+1:], g.adj[v])
+			recurse(g, next, need-1, prefix, scratch, yield)
+		}
+		*prefix = (*prefix)[:len(*prefix)-1]
+	}
+}
+
+// LocalLister enumerates p-cliques inside an arbitrary locally-known edge
+// set — this is what a single simulated node runs over the edges it has
+// learned. The adjacency is built once from the provided edges.
+type LocalLister struct {
+	adj map[V][]V
+}
+
+// NewLocalLister indexes the given edges (canonicalized, deduped).
+func NewLocalLister(edges []Edge) *LocalLister {
+	adj := make(map[V][]V)
+	seen := make(map[Edge]struct{}, len(edges))
+	for _, e := range edges {
+		e = e.Canon()
+		if e.U == e.V {
+			continue
+		}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := range adj {
+		adj[v] = sortDedup(adj[v])
+	}
+	return &LocalLister{adj: adj}
+}
+
+// Neighbors returns the known sorted neighbors of v.
+func (ll *LocalLister) Neighbors(v V) []V { return ll.adj[v] }
+
+// HasEdge reports whether the lister knows edge {u,v}.
+func (ll *LocalLister) HasEdge(u, v V) bool {
+	a, ok := ll.adj[u]
+	if !ok {
+		return false
+	}
+	return ContainsSorted(a, v)
+}
+
+// VisitCliques enumerates every p-clique within the known edges, yielding
+// each exactly once (sorted ascending; the slice is reused between calls).
+func (ll *LocalLister) VisitCliques(p int, yield func(Clique)) {
+	if p < 2 {
+		return
+	}
+	verts := make([]V, 0, len(ll.adj))
+	for v := range ll.adj {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	prefix := make(Clique, 0, p)
+	var rec func(cands []V, need int)
+	rec = func(cands []V, need int) {
+		if need == 0 {
+			yield(prefix)
+			return
+		}
+		for i, v := range cands {
+			if len(cands)-i < need {
+				return
+			}
+			prefix = append(prefix, v)
+			if need == 1 {
+				yield(prefix)
+			} else {
+				rec(IntersectSorted(cands[i+1:], ll.adj[v]), need-1)
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	for _, v := range verts {
+		later := ll.adj[v]
+		// Only neighbors with larger ID, so each clique is rooted at its
+		// minimum vertex and produced once.
+		idx := sort.Search(len(later), func(i int) bool { return later[i] > v })
+		prefix = append(prefix, v)
+		rec(later[idx:], p-1)
+		prefix = prefix[:0]
+	}
+}
+
+// ListCliques returns all p-cliques known to the lister, sorted.
+func (ll *LocalLister) ListCliques(p int) []Clique {
+	var out []Clique
+	ll.VisitCliques(p, func(c Clique) {
+		cp := make(Clique, len(c))
+		copy(cp, c)
+		out = append(out, cp)
+	})
+	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
+	return out
+}

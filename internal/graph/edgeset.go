@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EdgeList is a mutable working set of canonical edges. The clique-listing
+// pipeline manipulates edge partitions (Em, Es, Er) as EdgeLists and builds
+// Graph views on demand.
+type EdgeList []Edge
+
+// NewEdgeList canonicalizes, sorts, and dedupes the given edges, dropping
+// self-loops.
+func NewEdgeList(edges []Edge) EdgeList {
+	out := make(EdgeList, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		out = append(out, e.Canon())
+	}
+	out.Normalize()
+	return out
+}
+
+// Normalize sorts in place by (U,V) and removes duplicates.
+func (el *EdgeList) Normalize() {
+	s := *el
+	for i := range s {
+		s[i] = s[i].Canon()
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].U != s[j].U {
+			return s[i].U < s[j].U
+		}
+		return s[i].V < s[j].V
+	})
+	w := 0
+	for i := range s {
+		if i == 0 || s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	*el = s[:w]
+}
+
+// Graph materializes the edge list as a Graph over n vertices.
+func (el EdgeList) Graph(n int) (*Graph, error) {
+	return New(n, el)
+}
+
+// Contains reports whether e (canonicalized) is in the normalized list.
+// The receiver must be normalized.
+func (el EdgeList) Contains(e Edge) bool {
+	e = e.Canon()
+	i := sort.Search(len(el), func(i int) bool {
+		if el[i].U != e.U {
+			return el[i].U > e.U
+		}
+		return el[i].V >= e.V
+	})
+	return i < len(el) && el[i] == e
+}
+
+// Union returns the normalized union of a and b.
+func Union(a, b EdgeList) EdgeList {
+	out := make(EdgeList, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	out.Normalize()
+	return out
+}
+
+// Subtract returns the normalized edges of a that are not in b. Both inputs
+// must be normalized.
+func Subtract(a, b EdgeList) EdgeList {
+	out := make(EdgeList, 0, len(a))
+	i, j := 0, 0
+	less := func(x, y Edge) bool {
+		if x.U != y.U {
+			return x.U < y.U
+		}
+		return x.V < y.V
+	}
+	for i < len(a) {
+		switch {
+		case j >= len(b) || less(a[i], b[j]):
+			out = append(out, a[i])
+			i++
+		case less(b[j], a[i]):
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Disjoint reports whether the two normalized lists share no edge.
+func Disjoint(a, b EdgeList) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].U < b[j].U || (a[i].U == b[j].U && a[i].V < b[j].V):
+			i++
+		case b[j].U < a[i].U || (b[j].U == a[i].U && b[j].V < a[i].V):
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// AdjacencyView is a lightweight adjacency index over an EdgeList, used by
+// phases that query neighborhoods of a working edge set without building a
+// full Graph.
+type AdjacencyView struct {
+	n   int
+	adj [][]V
+}
+
+// NewAdjacencyView indexes the edges over n vertices.
+func NewAdjacencyView(n int, el EdgeList) (*AdjacencyView, error) {
+	adj := make([][]V, n)
+	for _, e := range el {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge %v out of range [0,%d)", e, n)
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := range adj {
+		adj[v] = sortDedup(adj[v])
+	}
+	return &AdjacencyView{n: n, adj: adj}, nil
+}
+
+// N returns the number of vertices of the view.
+func (av *AdjacencyView) N() int { return av.n }
+
+// Neighbors returns the sorted neighbors of v within the edge list.
+func (av *AdjacencyView) Neighbors(v V) []V { return av.adj[v] }
+
+// Degree returns the degree of v within the edge list.
+func (av *AdjacencyView) Degree(v V) int { return len(av.adj[v]) }
+
+// HasEdge reports adjacency within the edge list.
+func (av *AdjacencyView) HasEdge(u, v V) bool {
+	if u == v {
+		return false
+	}
+	a := av.adj[u]
+	if len(av.adj[v]) < len(a) {
+		a, v = av.adj[v], u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}

@@ -1,0 +1,133 @@
+package graph
+
+import "math/rand"
+
+// Extremal and adversarial generators: Turán graphs (the densest Kp-free
+// graphs — worst-case communication load with zero output), and the dense
+// lower-bound gadget family used in the Ω̃(n^{(p-2)/p}) argument of
+// Fischer et al. (a Θ(√m)-vertex dense core whose listing output is
+// maximal for its edge budget).
+
+// Turan returns the Turán graph T(n, r): the complete r-partite graph on n
+// vertices with parts as equal as possible. T(n, r) is the unique densest
+// graph with no K_{r+1}; it maximizes communication load per round while
+// producing zero K_{r+1} output, which makes it the adversarial workload
+// for round-complexity measurements.
+func Turan(n, r int) *Graph {
+	if r < 1 || n < 1 {
+		return MustNew(maxInt(n, 0), nil)
+	}
+	if r > n {
+		r = n
+	}
+	part := make([]int, n)
+	for v := 0; v < n; v++ {
+		part[v] = v % r
+	}
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if part[u] != part[v] {
+				edges = append(edges, Edge{V(u), V(v)})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// LowerBoundGadget returns the Fischer-et-al-style hard instance for
+// sparsity-aware Kp listing: a clique core on ⌊√(2m)⌋ vertices embedded in
+// an n-vertex graph (the remaining vertices are isolated). The core packs
+// Θ(m) edges and Θ(m^{p/2}) Kp instances — the maximum possible for the
+// edge budget — forcing any listing algorithm to move Ω̃(m^{p/2}/n)
+// information. It returns the graph and the core vertices.
+func LowerBoundGadget(n, m int) (*Graph, []V) {
+	core := 1
+	for (core+1)*core/2 <= m {
+		core++
+	}
+	if core > n {
+		core = n
+	}
+	var edges []Edge
+	count := 0
+	for u := 0; u < core && count < m; u++ {
+		for v := u + 1; v < core && count < m; v++ {
+			edges = append(edges, Edge{V(u), V(v)})
+			count++
+		}
+	}
+	// Spend any leftover budget attaching the next vertex to the core, so
+	// the graph has exactly min(m, C(n,2)) edges.
+	for v := core; v < n && count < m; v++ {
+		for u := 0; u < core && count < m; u++ {
+			edges = append(edges, Edge{V(u), V(v)})
+			count++
+		}
+	}
+	members := make([]V, core)
+	for i := range members {
+		members[i] = V(i)
+	}
+	return MustNew(n, edges), members
+}
+
+// Caveman returns a connected caveman graph: `caves` cliques of size k,
+// with one edge per clique rewired to the next clique to form a ring.
+// A classic community-structure benchmark: maximal modularity, tiny
+// conductance between caves — the decomposition must recover the caves.
+func Caveman(caves, k int) *Graph {
+	if caves < 1 || k < 2 {
+		return MustNew(0, nil)
+	}
+	n := caves * k
+	var edges []Edge
+	for c := 0; c < caves; c++ {
+		base := c * k
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				// Rewire the (0,1) edge of each cave to the next cave.
+				if i == 0 && j == 1 && caves > 1 {
+					continue
+				}
+				edges = append(edges, Edge{V(base + i), V(base + j)})
+			}
+		}
+		if caves > 1 {
+			next := ((c + 1) % caves) * k
+			edges = append(edges, Edge{V(base), V(next + 1)})
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// NoisyTuran perturbs a Turán graph by adding each missing edge with
+// probability eps — planting a controllable number of K_{r+1}s into an
+// otherwise clique-free dense graph.
+func NoisyTuran(n, r int, eps float64, rng *rand.Rand) *Graph {
+	base := Turan(n, r)
+	edges := base.Edges()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !base.HasEdge(V(u), V(v)) && rng.Float64() < eps {
+				edges = append(edges, Edge{V(u), V(v)})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+// TuranEdgeCount returns the number of edges of T(n, r) in closed form —
+// used by tests as an oracle.
+func TuranEdgeCount(n, r int) int {
+	if r < 1 || n < 2 {
+		return 0
+	}
+	if r > n {
+		r = n
+	}
+	// Parts have sizes ⌈n/r⌉ (n mod r of them) and ⌊n/r⌋.
+	q, rem := n/r, n%r
+	inside := rem*(q+1)*q/2 + (r-rem)*q*(q-1)/2
+	return n*(n-1)/2 - inside
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTuranCliqueFree(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{12, 3}, {20, 4}, {15, 2}, {9, 9}} {
+		g := Turan(tc.n, tc.r)
+		if g.M() != TuranEdgeCount(tc.n, tc.r) {
+			t.Errorf("T(%d,%d): m=%d, oracle says %d", tc.n, tc.r, g.M(), TuranEdgeCount(tc.n, tc.r))
+		}
+		if got := g.CountCliques(tc.r + 1); got != 0 {
+			t.Errorf("T(%d,%d) contains %d K%d — should be none", tc.n, tc.r, got, tc.r+1)
+		}
+		// T(n,r) contains K_r (one vertex per part) whenever n ≥ r.
+		if tc.n >= tc.r && g.CountCliques(tc.r) == 0 {
+			t.Errorf("T(%d,%d) should contain a K%d", tc.n, tc.r, tc.r)
+		}
+	}
+}
+
+func TestTuranDegenerate(t *testing.T) {
+	if Turan(0, 3).N() != 0 {
+		t.Error("empty Turán")
+	}
+	if Turan(5, 0).M() != 0 {
+		t.Error("r=0 should be edgeless")
+	}
+	if Turan(5, 8).M() != 10 {
+		t.Error("r>n should clamp to complete graph")
+	}
+}
+
+// Property: Turán is exactly K_{r+1}-free and its edge count matches the
+// closed form.
+func TestQuickTuran(t *testing.T) {
+	f := func(nRaw, rRaw uint8) bool {
+		n := 4 + int(nRaw%16)
+		r := 2 + int(rRaw%4)
+		g := Turan(n, r)
+		return g.M() == TuranEdgeCount(n, r) && g.CountCliques(r+1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerBoundGadget(t *testing.T) {
+	g, core := LowerBoundGadget(100, 45)
+	// 45 = C(10,2): the core is exactly K10.
+	if len(core) != 10 {
+		t.Fatalf("core size %d, want 10", len(core))
+	}
+	if g.M() != 45 {
+		t.Errorf("m=%d, want 45", g.M())
+	}
+	if got := g.CountCliques(10); got != 1 {
+		t.Errorf("expected exactly one K10, got %d", got)
+	}
+	// Tight budget: m that is not a binomial still fits.
+	g2, core2 := LowerBoundGadget(100, 50)
+	if g2.M() != 50 {
+		t.Errorf("m=%d, want 50", g2.M())
+	}
+	if len(core2) != 10 {
+		t.Errorf("core2 size %d, want 10 (C(11,2)=55 > 50)", len(core2))
+	}
+	// Core larger than n clamps.
+	g3, core3 := LowerBoundGadget(5, 1000)
+	if len(core3) != 5 || g3.M() != 10 {
+		t.Error("clamped gadget wrong")
+	}
+}
+
+func TestCavemanStructure(t *testing.T) {
+	g := Caveman(4, 5)
+	if g.N() != 20 {
+		t.Fatalf("n=%d, want 20", g.N())
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 {
+		t.Errorf("caveman should be connected, got %d components", len(comps))
+	}
+	// Each cave keeps its K4s on vertices {2,3,4} plus partial; count K5:
+	// the rewired edge removes one edge per cave, so no full K5 remains.
+	if got := g.CountCliques(5); got != 0 {
+		t.Errorf("rewired caves should not be K5s, got %d", got)
+	}
+	if got := g.CountCliques(4); got == 0 {
+		t.Error("caves should retain K4s")
+	}
+	if Caveman(0, 5).N() != 0 || Caveman(3, 1).N() != 0 {
+		t.Error("degenerate caveman")
+	}
+	single := Caveman(1, 4)
+	if single.CountCliques(4) != 1 {
+		t.Error("single cave should be a complete K4")
+	}
+}
+
+func TestNoisyTuranPlantsCliques(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean := Turan(30, 3)
+	noisy := NoisyTuran(30, 3, 0.3, rng)
+	if noisy.M() <= clean.M() {
+		t.Error("noise should add edges")
+	}
+	if noisy.CountCliques(4) == 0 {
+		t.Error("noise at eps=0.3 should create K4s")
+	}
+	same := NoisyTuran(30, 3, 0, rng)
+	if same.M() != clean.M() {
+		t.Error("eps=0 should not change the graph")
+	}
+}
+
+func TestEdgeListIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := ErdosRenyi(50, 0.2, rng)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	back, err := ReadEdgeList(&buf, g.N())
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if back.M() != g.M() {
+		t.Fatalf("round trip: m=%d, want %d", back.M(), g.M())
+	}
+	ea, eb := g.Edges(), back.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1 2 3\n"), 5); err == nil {
+		t.Error("three fields should error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n"), 5); err == nil {
+		t.Error("non-numeric should error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 9\n"), 5); err == nil {
+		t.Error("out-of-range endpoint should error")
+	}
+	g, err := ReadEdgeList(strings.NewReader("# comment\n\n0 1 # trailing\n"), 3)
+	if err != nil || g.M() != 1 {
+		t.Errorf("comments/blanks should parse: %v, m=%d", err, g.M())
+	}
+}

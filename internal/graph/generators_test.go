@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n, p := 400, 0.05
+	g := ErdosRenyi(n, p, rng)
+	expect := p * float64(n) * float64(n-1) / 2
+	got := float64(g.M())
+	if math.Abs(got-expect) > 5*math.Sqrt(expect) {
+		t.Errorf("M = %v, expected about %v", got, expect)
+	}
+	if g.N() != n {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := ErdosRenyi(10, 0, rng); g.M() != 0 {
+		t.Error("p=0 should give empty graph")
+	}
+	if g := ErdosRenyi(10, 1, rng); g.M() != 45 {
+		t.Errorf("p=1 should give complete graph, m=%d", g.M())
+	}
+	if g := ErdosRenyi(1, 0.5, rng); g.N() != 1 || g.M() != 0 {
+		t.Error("single vertex graph wrong")
+	}
+	if g := ErdosRenyi(0, 0.5, rng); g.N() != 0 {
+		t.Error("empty graph wrong")
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 0.1, rand.New(rand.NewSource(77)))
+	b := ErdosRenyi(100, 0.1, rand.New(rand.NewSource(77)))
+	if a.M() != b.M() {
+		t.Fatal("same seed should give same graph")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed should give identical edge lists")
+		}
+	}
+}
+
+func TestPairFromIndexCoversAllPairs(t *testing.T) {
+	n := 7
+	seen := make(map[Edge]bool)
+	total := int64(n * (n - 1) / 2)
+	for k := int64(0); k < total; k++ {
+		u, v := pairFromIndex(k, n)
+		if u >= v || v >= V(n) || u < 0 {
+			t.Fatalf("pairFromIndex(%d) = (%d,%d) invalid", k, u, v)
+		}
+		e := Edge{u, v}
+		if seen[e] {
+			t.Fatalf("pair %v repeated", e)
+		}
+		seen[e] = true
+	}
+	if int64(len(seen)) != total {
+		t.Fatalf("covered %d pairs, want %d", len(seen), total)
+	}
+}
+
+func TestGNMExactCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GNM(50, 300, rng)
+	if g.M() != 300 {
+		t.Errorf("GNM m = %d, want 300", g.M())
+	}
+	full := GNM(10, 1000, rng)
+	if full.M() != 45 {
+		t.Errorf("GNM overflow should clamp to complete graph, m=%d", full.M())
+	}
+}
+
+func TestCompleteAndCycleAndPath(t *testing.T) {
+	if g := Complete(6); g.M() != 15 || g.MaxDegree() != 5 {
+		t.Error("K6 wrong")
+	}
+	if g := Cycle(8); g.M() != 8 || g.MaxDegree() != 2 {
+		t.Error("C8 wrong")
+	}
+	if g := Cycle(2); g.M() != 0 {
+		t.Error("C2 should be empty")
+	}
+	if g := Path(5); g.M() != 4 {
+		t.Error("P5 wrong")
+	}
+	if g := Path(0); g.N() != 0 {
+		t.Error("P0 wrong")
+	}
+}
+
+func TestPlantedCliquesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, planted := PlantedCliques(100, 6, 4, 0.02, rng)
+	if len(planted) != 4 {
+		t.Fatalf("planted %d cliques, want 4", len(planted))
+	}
+	used := make(map[V]bool)
+	for _, c := range planted {
+		if len(c) != 6 {
+			t.Fatalf("clique size %d, want 6", len(c))
+		}
+		for i, u := range c {
+			if used[u] {
+				t.Fatalf("vertex %d in two planted cliques", u)
+			}
+			used[u] = true
+			for _, v := range c[i+1:] {
+				if !g.HasEdge(u, v) {
+					t.Fatalf("planted edge {%d,%d} missing", u, v)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overfull planting should panic")
+		}
+	}()
+	PlantedCliques(10, 5, 3, 0, rng)
+}
+
+func TestChungLuAverageDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 300
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 10
+	}
+	g := ChungLu(w, rng)
+	// Expected average degree ≈ 10 (w_u w_v / sum over all pairs).
+	if got := g.AvgDegree(); math.Abs(got-10) > 2 {
+		t.Errorf("ChungLu avg degree = %v, want about 10", got)
+	}
+	empty := ChungLu([]float64{0, 0, 0}, rng)
+	if empty.M() != 0 {
+		t.Error("zero weights should give empty graph")
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	w := PowerLawWeights(1000, 2.5, 8)
+	sum := 0.0
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Fatal("weights should be non-increasing")
+		}
+		sum += w[i]
+	}
+	sum += w[0]
+	avg := sum / float64(len(w))
+	if math.Abs(avg-8) > 1e-9 {
+		t.Errorf("mean weight = %v, want 8", avg)
+	}
+}
+
+func TestRandomRegularDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := RandomRegular(200, 8, rng)
+	if g.MaxDegree() > 8 {
+		t.Errorf("max degree %d exceeds 8", g.MaxDegree())
+	}
+	if g.AvgDegree() < 7 {
+		t.Errorf("avg degree %v too far below 8", g.AvgDegree())
+	}
+}
+
+func TestBarbellStructure(t *testing.T) {
+	g := Barbell(5, 3)
+	if g.N() != 12 {
+		t.Fatalf("barbell n = %d, want 12", g.N())
+	}
+	// Two K5s: each contributes C(5,2)=10 edges; bridge adds 3.
+	if g.M() != 23 {
+		t.Errorf("barbell m = %d, want 23", g.M())
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 {
+		t.Errorf("barbell should be connected, got %d components", len(comps))
+	}
+	if got := g.CountCliques(5); got != 2 {
+		t.Errorf("barbell K5 count = %d, want 2", got)
+	}
+}

@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewBasics(t *testing.T) {
+	g, err := New(5, []Edge{{0, 1}, {1, 0}, {2, 2}, {3, 4}, {1, 2}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if g.N() != 5 {
+		t.Errorf("N = %d, want 5", g.N())
+	}
+	if g.M() != 3 {
+		t.Errorf("M = %d, want 3 (duplicate and self-loop dropped)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge {0,1} missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Error("self-loop should not exist")
+	}
+	if g.HasEdge(0, 4) {
+		t.Error("phantom edge {0,4}")
+	}
+	if d := g.Degree(1); d != 2 {
+		t.Errorf("Degree(1) = %d, want 2", d)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative n should error")
+	}
+	if _, err := New(3, []Edge{{0, 5}}); err == nil {
+		t.Error("out-of-range endpoint should error")
+	}
+	if _, err := New(3, []Edge{{-1, 0}}); err == nil {
+		t.Error("negative endpoint should error")
+	}
+}
+
+func TestEdgesCanonical(t *testing.T) {
+	g := MustNew(4, []Edge{{3, 1}, {2, 0}, {1, 0}})
+	edges := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {1, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestEdgeCanonAndOther(t *testing.T) {
+	e := Edge{5, 2}.Canon()
+	if e != (Edge{2, 5}) {
+		t.Errorf("Canon = %v", e)
+	}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Error("Other endpoints wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Other with non-endpoint should panic")
+		}
+	}()
+	e.Other(7)
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := Complete(5)
+	cn := g.CommonNeighbors(0, 1)
+	want := []V{2, 3, 4}
+	if len(cn) != 3 {
+		t.Fatalf("CommonNeighbors = %v, want %v", cn, want)
+	}
+	for i := range want {
+		if cn[i] != want[i] {
+			t.Errorf("cn[%d] = %d, want %d", i, cn[i], want[i])
+		}
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct {
+		a, b, want []V
+	}{
+		{nil, nil, nil},
+		{[]V{1, 2, 3}, nil, nil},
+		{[]V{1, 2, 3}, []V{2, 3, 4}, []V{2, 3}},
+		{[]V{1, 5, 9}, []V{2, 6, 10}, nil},
+		{[]V{1, 2, 3}, []V{1, 2, 3}, []V{1, 2, 3}},
+	}
+	for _, c := range cases {
+		got := IntersectSorted(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("Intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(6)
+	sub, orig, err := g.InducedSubgraph([]V{1, 3, 5})
+	if err != nil {
+		t.Fatalf("InducedSubgraph: %v", err)
+	}
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Errorf("sub has n=%d m=%d, want 3,3", sub.N(), sub.M())
+	}
+	if orig[0] != 1 || orig[1] != 3 || orig[2] != 5 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+	if _, _, err := g.InducedSubgraph([]V{1, 1}); err == nil {
+		t.Error("duplicate vertex should error")
+	}
+	if _, _, err := g.InducedSubgraph([]V{99}); err == nil {
+		t.Error("out-of-range vertex should error")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := MustNew(7, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	comps := g.ConnectedComponents()
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4: %v", len(comps), comps)
+	}
+	sizes := []int{3, 2, 1, 1}
+	for i, c := range comps {
+		if len(c) != sizes[i] {
+			t.Errorf("component %d = %v, want size %d", i, c, sizes[i])
+		}
+	}
+}
+
+func TestMaxAvgDegree(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if got := g.AvgDegree(); got != 1.5 {
+		t.Errorf("AvgDegree = %v, want 1.5", got)
+	}
+	empty := MustNew(0, nil)
+	if empty.AvgDegree() != 0 || empty.MaxDegree() != 0 {
+		t.Error("empty graph degrees should be 0")
+	}
+}
+
+func TestEdgeListNormalize(t *testing.T) {
+	el := NewEdgeList([]Edge{{2, 1}, {1, 2}, {0, 0}, {3, 0}})
+	if len(el) != 2 {
+		t.Fatalf("normalized length = %d, want 2 (%v)", len(el), el)
+	}
+	if el[0] != (Edge{0, 3}) || el[1] != (Edge{1, 2}) {
+		t.Errorf("normalized = %v", el)
+	}
+	if !el.Contains(Edge{2, 1}) {
+		t.Error("Contains should canonicalize its argument")
+	}
+	if el.Contains(Edge{0, 1}) {
+		t.Error("phantom containment")
+	}
+}
+
+func TestEdgeListSetOps(t *testing.T) {
+	a := NewEdgeList([]Edge{{0, 1}, {1, 2}, {2, 3}})
+	b := NewEdgeList([]Edge{{1, 2}, {3, 4}})
+	u := Union(a, b)
+	if len(u) != 4 {
+		t.Errorf("Union = %v", u)
+	}
+	d := Subtract(a, b)
+	if len(d) != 2 || !d.Contains(Edge{0, 1}) || !d.Contains(Edge{2, 3}) {
+		t.Errorf("Subtract = %v", d)
+	}
+	if Disjoint(a, b) {
+		t.Error("a,b share {1,2}")
+	}
+	if !Disjoint(d, b) {
+		t.Error("d,b should be disjoint")
+	}
+}
+
+func TestAdjacencyView(t *testing.T) {
+	el := NewEdgeList([]Edge{{0, 1}, {1, 2}, {0, 2}})
+	av, err := NewAdjacencyView(4, el)
+	if err != nil {
+		t.Fatalf("NewAdjacencyView: %v", err)
+	}
+	if av.Degree(1) != 2 || av.Degree(3) != 0 {
+		t.Errorf("degrees wrong: deg1=%d deg3=%d", av.Degree(1), av.Degree(3))
+	}
+	if !av.HasEdge(0, 2) || av.HasEdge(1, 3) || av.HasEdge(2, 2) {
+		t.Error("HasEdge wrong")
+	}
+	if _, err := NewAdjacencyView(2, el); err == nil {
+		t.Error("out-of-range should error")
+	}
+}
+
+func TestSubtractIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ErdosRenyi(40, 0.2, rng)
+	all := NewEdgeList(g.Edges())
+	half := all[:len(all)/2]
+	rest := Subtract(all, half)
+	if len(rest)+len(half) != len(all) {
+		t.Fatalf("partition sizes: %d + %d != %d", len(rest), len(half), len(all))
+	}
+	if !Disjoint(rest, half) {
+		t.Error("Subtract result overlaps subtrahend")
+	}
+	back := Union(rest, half)
+	if len(back) != len(all) {
+		t.Error("Union(Subtract) does not restore")
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text I/O: the interchange format of cmd/kplist. One "u v" pair
+// per line, 0-based vertex IDs, '#' comments and blank lines ignored.
+
+// WriteEdgeList writes g in edge-list format, with a header comment giving
+// the vertex count.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# kplist edge list: n=%d m=%d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses an edge list over n vertices. Lines must hold two
+// whitespace-separated non-negative integers; '#' starts a comment.
+func ReadEdgeList(r io.Reader, n int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		switch len(fields) {
+		case 0:
+			continue
+		case 2:
+			u, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			edges = append(edges, Edge{V(u), V(v)})
+		default:
+			return nil, fmt.Errorf("graph: line %d: want \"u v\", got %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(n, edges)
+}

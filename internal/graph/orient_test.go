@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K5", Complete(5), 4},
+		{"C6", Cycle(6), 2},
+		{"P5", Path(5), 1},
+		{"empty", MustNew(5, nil), 0},
+		{"star", MustNew(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}}), 1},
+	}
+	for _, c := range cases {
+		got := c.g.Degeneracy().Degeneracy
+		if got != c.want {
+			t.Errorf("%s: degeneracy = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDegeneracyOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ErdosRenyi(100, 0.1, rng)
+	res := g.Degeneracy()
+	if len(res.Order) != g.N() {
+		t.Fatalf("order has %d entries, want %d", len(res.Order), g.N())
+	}
+	seen := make([]bool, g.N())
+	for i, v := range res.Order {
+		if seen[v] {
+			t.Fatalf("vertex %d appears twice in order", v)
+		}
+		seen[v] = true
+		if res.Rank[v] != i {
+			t.Fatalf("Rank[%d] = %d, want %d", v, res.Rank[v], i)
+		}
+	}
+}
+
+func TestDegeneracyOrientationOutDegreeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		g := ErdosRenyi(80, 0.05+0.2*rng.Float64(), rng)
+		res := g.Degeneracy()
+		o := g.DegeneracyOrientation()
+		if o.MaxOutDegree() > res.Degeneracy {
+			t.Fatalf("max out-degree %d exceeds degeneracy %d", o.MaxOutDegree(), res.Degeneracy)
+		}
+		if o.EdgeCount() != g.M() {
+			t.Fatalf("orientation covers %d edges, graph has %d", o.EdgeCount(), g.M())
+		}
+		// Every oriented edge is a real edge.
+		for v := 0; v < g.N(); v++ {
+			for _, w := range o.Out(V(v)) {
+				if !g.HasEdge(V(v), w) {
+					t.Fatalf("oriented non-edge %d->%d", v, w)
+				}
+			}
+		}
+	}
+}
+
+// Property: degeneracy orientation out-degree bound holds on arbitrary
+// random graphs (testing/quick drives the seed and density).
+func TestQuickOrientationBound(t *testing.T) {
+	f := func(seed int64, densityRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		density := 0.02 + float64(densityRaw%100)/250.0
+		g := ErdosRenyi(50, density, rng)
+		o := g.DegeneracyOrientation()
+		return o.MaxOutDegree() <= g.Degeneracy().Degeneracy && o.EdgeCount() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrientationOwner(t *testing.T) {
+	o, err := NewOrientation(4, [][]V{{1, 2}, {3}, nil, nil})
+	if err != nil {
+		t.Fatalf("NewOrientation: %v", err)
+	}
+	if o.Owner(Edge{0, 1}) != 0 {
+		t.Error("owner of {0,1} should be 0")
+	}
+	if o.Owner(Edge{3, 1}) != 1 {
+		t.Error("owner of {1,3} should be 1")
+	}
+	if o.Owner(Edge{2, 3}) != -1 {
+		t.Error("owner of absent edge should be -1")
+	}
+	if o.OutDegree(0) != 2 || o.MaxOutDegree() != 2 {
+		t.Error("out-degrees wrong")
+	}
+}
+
+func TestOrientationErrors(t *testing.T) {
+	if _, err := NewOrientation(2, [][]V{{1}}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewOrientation(2, [][]V{{5}, nil}); err == nil {
+		t.Error("out-of-range head should error")
+	}
+	if _, err := NewOrientation(2, [][]V{{0}, nil}); err == nil {
+		t.Error("self-loop should error")
+	}
+}
+
+func TestOrientationRestrictMerge(t *testing.T) {
+	o, _ := NewOrientation(4, [][]V{{1, 2}, {3}, {3}, nil})
+	keep := NewEdgeList([]Edge{{0, 1}, {2, 3}})
+	r := o.Restrict(keep)
+	if r.EdgeCount() != 2 {
+		t.Fatalf("restricted count = %d, want 2", r.EdgeCount())
+	}
+	if r.Owner(Edge{0, 1}) != 0 || r.Owner(Edge{2, 3}) != 2 {
+		t.Error("restriction changed owners")
+	}
+	o2, _ := NewOrientation(4, [][]V{nil, {0}, nil, {1}})
+	m, err := r.Merge(o2)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	// {0,1} exists in both; receiver direction (0->1) must win.
+	if m.Owner(Edge{0, 1}) != 0 {
+		t.Error("merge should keep receiver direction for shared edge")
+	}
+	if m.EdgeCount() != 3 {
+		t.Errorf("merged count = %d, want 3", m.EdgeCount())
+	}
+}
+
+func TestPeelOrientation(t *testing.T) {
+	// Barbell: two K6 joined by a path. Peeling with threshold 2 removes
+	// only the path; cliques survive.
+	g := Barbell(6, 4)
+	el := NewEdgeList(g.Edges())
+	o, peeled, survivors := PeelOrientation(g.N(), el, 2)
+	if o.MaxOutDegree() > 2 {
+		t.Errorf("peel out-degree %d exceeds threshold 2", o.MaxOutDegree())
+	}
+	if len(survivors) != 12 {
+		t.Errorf("survivors = %d, want 12 clique vertices", len(survivors))
+	}
+	// Surviving edges = all minus peeled; every survivor must have degree > 2 there.
+	rest := Subtract(el, peeled)
+	av, err := NewAdjacencyView(g.N(), rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range survivors {
+		if av.Degree(v) <= 2 {
+			t.Errorf("survivor %d has residual degree %d", v, av.Degree(v))
+		}
+	}
+	// Peeled + rest = all.
+	if len(peeled)+len(rest) != len(el) {
+		t.Errorf("peel does not partition: %d + %d != %d", len(peeled), len(rest), len(el))
+	}
+}
+
+func TestPeelOrientationFullPeel(t *testing.T) {
+	// Threshold ≥ max degree peels everything.
+	g := Cycle(10)
+	el := NewEdgeList(g.Edges())
+	o, peeled, survivors := PeelOrientation(g.N(), el, 2)
+	if len(survivors) != 0 {
+		t.Errorf("cycle should fully peel at threshold 2, survivors=%v", survivors)
+	}
+	if len(peeled) != g.M() {
+		t.Errorf("peeled %d edges, want %d", len(peeled), g.M())
+	}
+	if o.EdgeCount() != g.M() {
+		t.Errorf("orientation has %d edges, want %d", o.EdgeCount(), g.M())
+	}
+}
+
+// Property: for any random graph and threshold, PeelOrientation's
+// orientation out-degree respects the threshold and the peeled+rest
+// partition is exact.
+func TestQuickPeelInvariants(t *testing.T) {
+	f := func(seed int64, thrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(40, 0.15, rng)
+		el := NewEdgeList(g.Edges())
+		thr := 1 + int(thrRaw%8)
+		o, peeled, survivors := PeelOrientation(g.N(), el, thr)
+		if o.MaxOutDegree() > thr {
+			return false
+		}
+		rest := Subtract(el, peeled)
+		av, err := NewAdjacencyView(g.N(), rest)
+		if err != nil {
+			return false
+		}
+		for _, v := range survivors {
+			if av.Degree(v) <= thr {
+				return false
+			}
+		}
+		return len(peeled)+len(rest) == len(el) && Disjoint(peeled, rest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

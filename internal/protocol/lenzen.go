@@ -1,0 +1,182 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kplist/internal/congest"
+	"kplist/internal/graph"
+)
+
+// Lenzen-style routing on the congested clique: any k-relation (every node
+// sends at most k messages and is the destination of at most k) is
+// deliverable in O(k/n + 1) rounds. This file implements the classic
+// two-phase scheme on the REAL engine — phase A spreads each sender's
+// messages round-robin over intermediaries, phase B forwards to the true
+// destinations — providing an executable witness for the
+// CostModel.CliqueRounds bill the simulated pipeline charges.
+
+// CliqueMessage is one payload to route.
+type CliqueMessage struct {
+	From, To graph.V
+	Payload  int32
+}
+
+// RouteKRelation delivers msgs over the n-node congested clique using the
+// two-phase intermediary scheme and returns the delivered messages grouped
+// by destination, plus the engine stats. It validates the k-relation
+// precondition (returns an error with the offending node otherwise).
+func RouteKRelation(n int, msgs []CliqueMessage, k int) (map[graph.V][]CliqueMessage, congest.Stats, error) {
+	sendCount := make(map[graph.V]int)
+	recvCount := make(map[graph.V]int)
+	for _, m := range msgs {
+		if m.From < 0 || int(m.From) >= n || m.To < 0 || int(m.To) >= n {
+			return nil, congest.Stats{}, fmt.Errorf("protocol: message endpoint out of range: %+v", m)
+		}
+		sendCount[m.From]++
+		recvCount[m.To]++
+	}
+	for v, c := range sendCount {
+		if c > k {
+			return nil, congest.Stats{}, fmt.Errorf("protocol: node %d sends %d > k=%d messages", v, c, k)
+		}
+	}
+	for v, c := range recvCount {
+		if c > k {
+			return nil, congest.Stats{}, fmt.Errorf("protocol: node %d receives %d > k=%d messages", v, c, k)
+		}
+	}
+
+	if n < 2 {
+		// Degenerate clique: everything is local.
+		out := make(map[graph.V][]CliqueMessage)
+		for _, m := range msgs {
+			out[m.To] = append(out[m.To], m)
+		}
+		return out, congest.Stats{}, nil
+	}
+
+	bySender := make(map[graph.V][]CliqueMessage)
+	for _, m := range msgs {
+		bySender[m.From] = append(bySender[m.From], m)
+	}
+	for v := range bySender {
+		sort.Slice(bySender[v], func(i, j int) bool {
+			a, b := bySender[v][i], bySender[v][j]
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Payload < b.Payload
+		})
+	}
+
+	g := graph.Complete(n)
+	var (
+		mu        sync.Mutex
+		delivered = make(map[graph.V][]CliqueMessage)
+		inPhaseB  = make(map[graph.V][]CliqueMessage) // intermediary -> held messages
+	)
+	// Phase A: sender v's j-th message goes to intermediary
+	// (v + 1 + (j mod (n-1))) mod n in round j div (n-1) — within a round
+	// the intermediaries are pairwise distinct and never v itself, so each
+	// edge carries at most one word per round.
+	phaseARounds := int(congest.CeilDiv(int64(k), int64(n-1)))
+	progA := func(ctx *congest.Context) error {
+		me := ctx.ID()
+		mine := bySender[me]
+		for r := 0; r < phaseARounds; r++ {
+			for j, m := range mine {
+				if j/(n-1) != r {
+					continue
+				}
+				inter := graph.V((int(me) + 1 + j%(n-1)) % n)
+				// Pack destination in A, payload in B.
+				if err := ctx.Send(inter, congest.Word{Tag: congest.TagData, A: m.To, B: graph.V(m.Payload)}); err != nil {
+					return err
+				}
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			for _, w := range in {
+				inPhaseB[me] = append(inPhaseB[me], CliqueMessage{From: w.From, To: w.Word.A, Payload: int32(w.Word.B)})
+			}
+			mu.Unlock()
+		}
+		return nil
+	}
+	statsA, err := congest.NewNetwork(g, congest.Options{}).Run(progA)
+	if err != nil {
+		return nil, statsA, fmt.Errorf("protocol: phase A: %w", err)
+	}
+
+	// Phase B: intermediaries forward to true destinations; rounds = max
+	// per-(intermediary,destination) multiplicity.
+	maxMult := 0
+	for inter := range inPhaseB {
+		mult := make(map[graph.V]int)
+		for _, m := range inPhaseB[inter] {
+			mult[m.To]++
+			if mult[m.To] > maxMult {
+				maxMult = mult[m.To]
+			}
+		}
+		_ = inter
+	}
+	progB := func(ctx *congest.Context) error {
+		me := ctx.ID()
+		mu.Lock()
+		held := append([]CliqueMessage(nil), inPhaseB[me]...)
+		mu.Unlock()
+		sort.Slice(held, func(i, j int) bool {
+			if held[i].To != held[j].To {
+				return held[i].To < held[j].To
+			}
+			return held[i].Payload < held[j].Payload
+		})
+		// rank[i] = position of held[i] within its destination group; the
+		// message is sent in round rank[i], so each (intermediary,
+		// destination) edge carries one word per round.
+		rank := make([]int, len(held))
+		perDest := make(map[graph.V]int)
+		for i, m := range held {
+			rank[i] = perDest[m.To]
+			perDest[m.To]++
+		}
+		for r := 0; r < maxMult; r++ {
+			for i, m := range held {
+				if rank[i] != r {
+					continue
+				}
+				if m.To == me {
+					mu.Lock()
+					delivered[me] = append(delivered[me], m)
+					mu.Unlock()
+					continue
+				}
+				if err := ctx.Send(m.To, congest.Word{Tag: congest.TagData, A: m.From, B: graph.V(m.Payload)}); err != nil {
+					return err
+				}
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			for _, w := range in {
+				delivered[me] = append(delivered[me], CliqueMessage{From: w.Word.A, To: me, Payload: int32(w.Word.B)})
+			}
+			mu.Unlock()
+		}
+		return nil
+	}
+	statsB, err := congest.NewNetwork(g, congest.Options{}).Run(progB)
+	if err != nil {
+		return nil, statsB, fmt.Errorf("protocol: phase B: %w", err)
+	}
+	total := congest.Stats{Rounds: statsA.Rounds + statsB.Rounds, Messages: statsA.Messages + statsB.Messages}
+	return delivered, total, nil
+}

@@ -1,0 +1,115 @@
+package protocol
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+func checkDelivery(t *testing.T, msgs []CliqueMessage, delivered map[graph.V][]CliqueMessage) {
+	t.Helper()
+	want := make(map[graph.V][]CliqueMessage)
+	for _, m := range msgs {
+		want[m.To] = append(want[m.To], m)
+	}
+	key := func(m CliqueMessage) int64 {
+		return int64(m.From)<<40 | int64(m.To)<<20 | int64(m.Payload)
+	}
+	for dest, ws := range want {
+		gs := delivered[dest]
+		if len(gs) != len(ws) {
+			t.Fatalf("dest %d got %d messages, want %d", dest, len(gs), len(ws))
+		}
+		wk := make([]int64, len(ws))
+		gk := make([]int64, len(gs))
+		for i := range ws {
+			wk[i] = key(ws[i])
+			gk[i] = key(gs[i])
+		}
+		sort.Slice(wk, func(i, j int) bool { return wk[i] < wk[j] })
+		sort.Slice(gk, func(i, j int) bool { return gk[i] < gk[j] })
+		for i := range wk {
+			if wk[i] != gk[i] {
+				t.Fatalf("dest %d message set differs", dest)
+			}
+		}
+	}
+	for dest := range delivered {
+		if len(delivered[dest]) != len(want[dest]) {
+			t.Fatalf("dest %d received %d unexpected messages", dest, len(delivered[dest])-len(want[dest]))
+		}
+	}
+}
+
+func TestRouteKRelationRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, k = 24, 20
+	var msgs []CliqueMessage
+	recv := make(map[graph.V]int)
+	for v := 0; v < n; v++ {
+		for j := 0; j < k; j++ {
+			to := graph.V(rng.Intn(n))
+			if recv[to] >= k {
+				continue
+			}
+			recv[to]++
+			msgs = append(msgs, CliqueMessage{From: graph.V(v), To: to, Payload: int32(v*1000 + j)})
+		}
+	}
+	delivered, stats, err := RouteKRelation(n, msgs, k)
+	if err != nil {
+		t.Fatalf("RouteKRelation: %v", err)
+	}
+	checkDelivery(t, msgs, delivered)
+	// O(k/n + 1) with modest constants: generous bound 4·(k/(n-1)+1) + k/3.
+	bound := 4*(k/(n-1)+1) + k/3 + 4
+	if stats.Rounds > bound {
+		t.Errorf("routing used %d rounds; k-relation should take O(k/n+1), bound %d", stats.Rounds, bound)
+	}
+}
+
+func TestRouteKRelationSkewed(t *testing.T) {
+	// Worst case for direct sending: node 0 sends all k messages to node 1.
+	// Direct delivery would need k rounds on the single edge; the two-phase
+	// scheme spreads them across intermediaries.
+	const n, k = 20, 19
+	var msgs []CliqueMessage
+	for j := 0; j < k; j++ {
+		msgs = append(msgs, CliqueMessage{From: 0, To: 1, Payload: int32(j)})
+	}
+	delivered, stats, err := RouteKRelation(n, msgs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDelivery(t, msgs, delivered)
+	if stats.Rounds >= k {
+		t.Errorf("two-phase routing used %d rounds; direct would use %d — no improvement", stats.Rounds, k)
+	}
+}
+
+func TestRouteKRelationValidation(t *testing.T) {
+	msgs := []CliqueMessage{{From: 0, To: 1}, {From: 0, To: 1}}
+	if _, _, err := RouteKRelation(5, msgs, 1); err == nil {
+		t.Error("send overflow should be rejected")
+	}
+	if _, _, err := RouteKRelation(5, []CliqueMessage{{From: 0, To: 9}}, 5); err == nil {
+		t.Error("out-of-range destination should be rejected")
+	}
+	many := []CliqueMessage{{From: 0, To: 2}, {From: 1, To: 2}, {From: 3, To: 2}}
+	if _, _, err := RouteKRelation(5, many, 2); err == nil {
+		t.Error("receive overflow should be rejected")
+	}
+}
+
+func TestRouteKRelationEmptyAndTiny(t *testing.T) {
+	delivered, _, err := RouteKRelation(10, nil, 3)
+	if err != nil || len(delivered) != 0 {
+		t.Errorf("empty relation: %v", err)
+	}
+	d1, _, err := RouteKRelation(1, []CliqueMessage{{From: 0, To: 0, Payload: 7}}, 1)
+	if err != nil || len(d1[0]) != 1 {
+		t.Errorf("single-node clique: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package protocol implements classic CONGEST building blocks as real
+// programs for the goroutine engine in internal/congest: BFS spanning
+// trees, convergecast aggregation, leader election, and — the piece the
+// paper consumes as Lemma 2.5 — distributed intra-component ID assignment
+// (rank every node of a connected component with consecutive IDs starting
+// at 0). These run on the genuine message-passing engine with per-edge
+// bandwidth enforced, providing an executable grounding for the contracts
+// the cost-model pipeline charges for.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"kplist/internal/congest"
+	"kplist/internal/graph"
+)
+
+// Word tags used by the protocols (disjoint from congest's generic tags).
+const (
+	tagBFS        uint8 = 32 + iota // A = root ID
+	tagChild                        // sender declares recipient its parent
+	tagNoChild                      // sender declares it is NOT a child
+	tagSubtree                      // A = subtree size / aggregate value
+	tagRankOffset                   // A = base rank for recipient's subtree
+	tagLeader                       // A = candidate leader ID
+)
+
+// Tree is the result of a BFS tree construction.
+type Tree struct {
+	Root   graph.V
+	Parent []graph.V // Parent[v] = BFS parent, -1 for the root and unreached
+	Depth  []int     // Depth[v] = BFS depth, -1 if unreached
+}
+
+// BuildBFSTree constructs a BFS tree rooted at root on the real engine.
+// floodRounds bounds the flood phase (any value ≥ the graph's eccentricity
+// of root works; n−1 is always safe). Unreached vertices (other
+// components) keep Parent = Depth = −1.
+func BuildBFSTree(g *graph.Graph, root graph.V, floodRounds int) (*Tree, congest.Stats, error) {
+	n := g.N()
+	if int(root) < 0 || int(root) >= n {
+		return nil, congest.Stats{}, fmt.Errorf("protocol: root %d out of range", root)
+	}
+	tree := &Tree{Root: root, Parent: make([]graph.V, n), Depth: make([]int, n)}
+	for v := range tree.Parent {
+		tree.Parent[v] = -1
+		tree.Depth[v] = -1
+	}
+	var mu sync.Mutex
+	prog := func(ctx *congest.Context) error {
+		me := ctx.ID()
+		parent := graph.V(-1)
+		depth := -1
+		if me == root {
+			depth = 0
+		}
+		send := me == root
+		for r := 1; r <= floodRounds; r++ {
+			if send {
+				if err := ctx.Broadcast(congest.Word{Tag: tagBFS, A: root}); err != nil {
+					return err
+				}
+				send = false
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			for _, m := range in {
+				if m.Word.Tag == tagBFS && depth == -1 {
+					depth = r
+					parent = m.From // inboxes are sorted: lowest-ID parent
+					send = true
+				}
+			}
+		}
+		mu.Lock()
+		tree.Parent[me] = parent
+		tree.Depth[me] = depth
+		mu.Unlock()
+		return nil
+	}
+	stats, err := congest.NewNetwork(g, congest.Options{}).Run(prog)
+	if err != nil {
+		return nil, stats, err
+	}
+	return tree, stats, nil
+}
+
+// ConvergecastSum aggregates value[v] over the component of root, up a
+// pre-built BFS tree, on the real engine. The protocol has natural
+// termination: leaves push immediately; internal nodes push once every
+// child has reported. Returns the sum received at the root.
+func ConvergecastSum(g *graph.Graph, tree *Tree, value []int32) (int64, congest.Stats, error) {
+	n := g.N()
+	if len(value) != n {
+		return 0, congest.Stats{}, fmt.Errorf("protocol: %d values for %d nodes", len(value), n)
+	}
+	children := childrenOf(g, tree)
+	var (
+		mu    sync.Mutex
+		total int64
+	)
+	prog := func(ctx *congest.Context) error {
+		me := ctx.ID()
+		if tree.Depth[me] == -1 {
+			return nil // other component
+		}
+		pending := make(map[graph.V]bool, len(children[me]))
+		for _, c := range children[me] {
+			pending[c] = true
+		}
+		acc := int64(value[me])
+		for {
+			if len(pending) == 0 {
+				if me == tree.Root {
+					mu.Lock()
+					total = acc
+					mu.Unlock()
+					return nil
+				}
+				// Depth guarantees acc fits the word in our simulations;
+				// production encodings would split large values.
+				return ctx.Send(tree.Parent[me], congest.Word{Tag: tagSubtree, A: graph.V(acc)})
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			for _, m := range in {
+				if m.Word.Tag == tagSubtree && pending[m.From] {
+					delete(pending, m.From)
+					acc += int64(m.Word.A)
+				}
+			}
+		}
+	}
+	stats, err := congest.NewNetwork(g, congest.Options{}).Run(prog)
+	if err != nil {
+		return 0, stats, err
+	}
+	return total, stats, nil
+}
+
+// childrenOf inverts the parent array into sorted child lists.
+func childrenOf(g *graph.Graph, tree *Tree) [][]graph.V {
+	children := make([][]graph.V, g.N())
+	for v := range tree.Parent {
+		p := tree.Parent[v]
+		if p >= 0 {
+			children[p] = append(children[p], graph.V(v))
+		}
+	}
+	for v := range children {
+		sort.Slice(children[v], func(i, j int) bool { return children[v][i] < children[v][j] })
+	}
+	return children
+}
+
+// AssignComponentIDs implements the Lemma 2.5 contract on the real engine:
+// every vertex of root's component receives a unique rank in [0, size)
+// where size is the component size. Mechanics: convergecast subtree sizes
+// up the BFS tree, then downcast rank offsets — the root takes rank 0, and
+// each node hands consecutive sub-ranges to its children in ID order.
+// Ranks of other components are -1.
+func AssignComponentIDs(g *graph.Graph, tree *Tree) ([]int, congest.Stats, error) {
+	n := g.N()
+	children := childrenOf(g, tree)
+	ranks := make([]int, n)
+	for v := range ranks {
+		ranks[v] = -1
+	}
+	var mu sync.Mutex
+	prog := func(ctx *congest.Context) error {
+		me := ctx.ID()
+		if tree.Depth[me] == -1 {
+			return nil
+		}
+		kids := children[me]
+		// Phase 1: convergecast subtree sizes.
+		size := make(map[graph.V]int64, len(kids))
+		pending := make(map[graph.V]bool, len(kids))
+		for _, c := range kids {
+			pending[c] = true
+		}
+		for len(pending) > 0 {
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			for _, m := range in {
+				if m.Word.Tag == tagSubtree && pending[m.From] {
+					delete(pending, m.From)
+					size[m.From] = int64(m.Word.A)
+				}
+			}
+		}
+		var mySize int64 = 1
+		for _, s := range size {
+			mySize += s
+		}
+		if me != tree.Root {
+			if err := ctx.Send(tree.Parent[me], congest.Word{Tag: tagSubtree, A: graph.V(mySize)}); err != nil {
+				return err
+			}
+		}
+		// Phase 2: receive my base rank (root starts at 0), then hand out
+		// consecutive ranges to children in ID order.
+		var base int64
+		if me != tree.Root {
+			for {
+				in, err := ctx.NextRound()
+				if err != nil {
+					return err
+				}
+				got := false
+				for _, m := range in {
+					if m.Word.Tag == tagRankOffset && m.From == tree.Parent[me] {
+						base = int64(m.Word.A)
+						got = true
+					}
+				}
+				if got {
+					break
+				}
+			}
+		}
+		mu.Lock()
+		ranks[me] = int(base)
+		mu.Unlock()
+		next := base + 1
+		for _, c := range kids {
+			if err := ctx.Send(c, congest.Word{Tag: tagRankOffset, A: graph.V(next)}); err != nil {
+				return err
+			}
+			next += size[c]
+		}
+		// One final barrier so queued offset messages are delivered before
+		// this node leaves the network.
+		if len(kids) > 0 {
+			if _, err := ctx.NextRound(); err != nil && !errors.Is(err, congest.ErrAborted) {
+				return err
+			}
+		}
+		return nil
+	}
+	stats, err := congest.NewNetwork(g, congest.Options{}).Run(prog)
+	if err != nil {
+		return nil, stats, err
+	}
+	return ranks, stats, nil
+}
+
+// ElectLeader runs min-ID flooding for `rounds` rounds (any value ≥ the
+// component diameter works) and returns each node's view of the leader —
+// the minimum vertex ID reachable within the budget.
+func ElectLeader(g *graph.Graph, rounds int) ([]graph.V, congest.Stats, error) {
+	n := g.N()
+	leader := make([]graph.V, n)
+	var mu sync.Mutex
+	prog := func(ctx *congest.Context) error {
+		me := ctx.ID()
+		best := me
+		changed := true
+		for r := 0; r < rounds; r++ {
+			if changed {
+				if err := ctx.Broadcast(congest.Word{Tag: tagLeader, A: best}); err != nil {
+					return err
+				}
+				changed = false
+			}
+			in, err := ctx.NextRound()
+			if err != nil {
+				return err
+			}
+			for _, m := range in {
+				if m.Word.Tag == tagLeader && m.Word.A < best {
+					best = m.Word.A
+					changed = true
+				}
+			}
+		}
+		mu.Lock()
+		leader[me] = best
+		mu.Unlock()
+		return nil
+	}
+	stats, err := congest.NewNetwork(g, congest.Options{}).Run(prog)
+	if err != nil {
+		return nil, stats, err
+	}
+	return leader, stats, nil
+}

@@ -1,0 +1,215 @@
+package protocol
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+func TestBFSTreePath(t *testing.T) {
+	g := graph.Path(8)
+	tree, stats, err := BuildBFSTree(g, 0, 8)
+	if err != nil {
+		t.Fatalf("BuildBFSTree: %v", err)
+	}
+	for v := 0; v < 8; v++ {
+		if tree.Depth[v] != v {
+			t.Errorf("Depth[%d] = %d, want %d", v, tree.Depth[v], v)
+		}
+		if v > 0 && tree.Parent[v] != graph.V(v-1) {
+			t.Errorf("Parent[%d] = %d, want %d", v, tree.Parent[v], v-1)
+		}
+	}
+	if tree.Parent[0] != -1 {
+		t.Error("root should have no parent")
+	}
+	if stats.Rounds < 7 {
+		t.Errorf("flood of depth 7 used only %d rounds", stats.Rounds)
+	}
+}
+
+func TestBFSTreeDepthsAreShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ErdosRenyi(60, 0.08, rng)
+	tree, _, err := BuildBFSTree(g, 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference BFS.
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []graph.V{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if tree.Depth[v] != dist[v] {
+			t.Errorf("Depth[%d] = %d, reference %d", v, tree.Depth[v], dist[v])
+		}
+		if dist[v] > 0 {
+			p := tree.Parent[v]
+			if p < 0 || dist[p] != dist[v]-1 || !g.HasEdge(graph.V(v), p) {
+				t.Errorf("Parent[%d] = %d invalid", v, p)
+			}
+		}
+	}
+}
+
+func TestBFSTreeRootOutOfRange(t *testing.T) {
+	g := graph.Path(3)
+	if _, _, err := BuildBFSTree(g, 9, 3); err == nil {
+		t.Error("out-of-range root should error")
+	}
+}
+
+func TestConvergecastSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ErdosRenyi(40, 0.15, rng)
+	tree, _, err := BuildBFSTree(g, 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := make([]int32, g.N())
+	var want int64
+	for v := range value {
+		value[v] = int32(v + 1)
+		if tree.Depth[v] >= 0 {
+			want += int64(v + 1)
+		}
+	}
+	got, _, err := ConvergecastSum(g, tree, value)
+	if err != nil {
+		t.Fatalf("ConvergecastSum: %v", err)
+	}
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	if _, _, err := ConvergecastSum(g, tree, value[:3]); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestConvergecastOnDisconnected(t *testing.T) {
+	// Two components: only root's component contributes.
+	g := graph.MustNew(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	tree, _, err := BuildBFSTree(g, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []int32{1, 10, 100, 1000, 10000, 100000}
+	got, _, err := ConvergecastSum(g, tree, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 111 {
+		t.Errorf("sum = %d, want 111 (component of 0 only)", got)
+	}
+}
+
+// TestAssignComponentIDs verifies the Lemma 2.5 contract on the real
+// engine: ranks form exactly [0, componentSize).
+func TestAssignComponentIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.ErdosRenyi(50, 0.1, rng)
+		tree, _, err := BuildBFSTree(g, 0, g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks, _, err := AssignComponentIDs(g, tree)
+		if err != nil {
+			t.Fatalf("AssignComponentIDs: %v", err)
+		}
+		var got []int
+		compSize := 0
+		for v := 0; v < g.N(); v++ {
+			if tree.Depth[v] >= 0 {
+				compSize++
+				got = append(got, ranks[v])
+			} else if ranks[v] != -1 {
+				t.Errorf("unreached vertex %d has rank %d", v, ranks[v])
+			}
+		}
+		sort.Ints(got)
+		for i, r := range got {
+			if r != i {
+				t.Fatalf("trial %d: ranks not a permutation of [0,%d): %v", trial, compSize, got)
+			}
+		}
+		if ranks[0] != 0 {
+			t.Errorf("root rank = %d, want 0", ranks[0])
+		}
+	}
+}
+
+func TestAssignComponentIDsStar(t *testing.T) {
+	g := graph.MustNew(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	tree, _, err := BuildBFSTree(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, _, err := AssignComponentIDs(g, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root 0, children in ID order get 1..4.
+	for v := 0; v < 5; v++ {
+		if ranks[v] != v {
+			t.Errorf("rank[%d] = %d, want %d", v, ranks[v], v)
+		}
+	}
+}
+
+func TestElectLeader(t *testing.T) {
+	g := graph.Cycle(12)
+	leader, _, err := ElectLeader(g, 12)
+	if err != nil {
+		t.Fatalf("ElectLeader: %v", err)
+	}
+	for v, l := range leader {
+		if l != 0 {
+			t.Errorf("node %d elected %d, want 0", v, l)
+		}
+	}
+}
+
+func TestElectLeaderPerComponent(t *testing.T) {
+	g := graph.MustNew(7, []graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 4, V: 5}, {U: 5, V: 6}})
+	leader, _, err := ElectLeader(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.V{0, 1, 1, 1, 4, 4, 4}
+	for v := range want {
+		if leader[v] != want[v] {
+			t.Errorf("leader[%d] = %d, want %d", v, leader[v], want[v])
+		}
+	}
+}
+
+func TestElectLeaderInsufficientRounds(t *testing.T) {
+	// A path needs diameter rounds; with 1 round the far end cannot know 0.
+	g := graph.Path(10)
+	leader, _, err := ElectLeader(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader[9] == 0 {
+		t.Error("node 9 cannot learn leader 0 in one round")
+	}
+	if leader[9] != 8 {
+		t.Errorf("node 9 should know its neighborhood minimum 8, got %d", leader[9])
+	}
+}

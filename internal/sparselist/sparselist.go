@@ -1,0 +1,338 @@
+// Package sparselist implements the paper's sparsity-aware Kp-listing
+// algorithm (§2.4.3), in both of its roles:
+//
+//   - standalone in the CONGESTED CLIQUE model (Theorem 1.3:
+//     Θ̃(1 + m/n^{1+2/p}) rounds for all p ≥ 3), and
+//   - as the in-cluster listing step of ARB-LIST, where a cluster of k
+//     nodes lists every Kp among the edges it has learned, paying
+//     Theorem 2.4 routing inside the cluster.
+//
+// Mechanics (both modes): partition the vertex set into t parts (t = k^{1/p});
+// assign each listing node a p-tuple of parts via the radix representation
+// of its ID; deliver every known edge to each node whose tuple contains the
+// parts of both endpoints; each node lists the p-cliques it sees. Lemma 2.7
+// bounds the number of edges between any two parts, which bounds per-node
+// receive load and hence rounds.
+package sparselist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"kplist/internal/congest"
+	"kplist/internal/graph"
+	"kplist/internal/partition"
+	"kplist/internal/routing"
+)
+
+// Input is the listing problem handed to the sparsity-aware algorithm.
+type Input struct {
+	// N is the number of vertices in the underlying graph (part choices
+	// are drawn for every vertex).
+	N int
+	// P is the clique size, ≥ 3.
+	P int
+	// Edges is the edge universe to list cliques in.
+	Edges graph.EdgeList
+	// Orient assigns each edge to the listing node hosting its tail; nil
+	// means a degeneracy orientation of Edges is computed (standalone CC
+	// mode, where every vertex is a listing node).
+	Orient *graph.Orientation
+	// Seed drives the random partition.
+	Seed int64
+}
+
+// Result carries the listed cliques and the load statistics the cost model
+// charged for.
+type Result struct {
+	Cliques graph.CliqueSet
+	// MaxNodeLoad is the busiest node's sent+received word count.
+	MaxNodeLoad int64
+	// TotalMessages is the total number of edge-words delivered.
+	TotalMessages int64
+	// Parts is the number of parts t used.
+	Parts int
+	// MaxPairEdges is the largest number of edges between any two parts
+	// (the Lemma 2.7 quantity).
+	MaxPairEdges int64
+}
+
+// CongestedClique runs Theorem 1.3 on an n-node congested clique: all n
+// vertices are listing nodes, each initially knowing its incident edges,
+// and the bill is ceil(maxLoad/(n-1)) rounds charged to the ledger.
+//
+// When padToLemma27 is set and the graph is too sparse for Lemma 2.7's
+// hypotheses, fake edges are added (marked, never listed) until
+// m/n^{1/p} = 20·n·log n, exactly as §4 prescribes; this only affects the
+// bill, never the output.
+func CongestedClique(in Input, padToLemma27 bool, cm congest.CostModel, ledger *congest.Ledger) (*Result, error) {
+	if in.P < 3 {
+		return nil, fmt.Errorf("sparselist: p=%d < 3", in.P)
+	}
+	if in.N < 1 {
+		return nil, fmt.Errorf("sparselist: empty graph")
+	}
+	k := in.N
+	t := partition.PartsForListing(k, in.P)
+	rng := rand.New(rand.NewSource(in.Seed))
+
+	orient := in.Orient
+	if orient == nil {
+		g, err := in.Edges.Graph(in.N)
+		if err != nil {
+			return nil, fmt.Errorf("sparselist: %w", err)
+		}
+		orient = g.DegeneracyOrientation()
+	}
+
+	edges := in.Edges
+	realCount := len(edges)
+	if padToLemma27 {
+		edges = padFakeEdges(in.N, in.P, edges, rng)
+	}
+
+	part := partition.Random(in.N, t, rng)
+	asg, err := partition.NewAssignment(k, t, in.P)
+	if err != nil {
+		return nil, fmt.Errorf("sparselist: %w", err)
+	}
+
+	res, err := runListing(in.P, edges[:realCount], edges[realCount:], part, asg,
+		func(e graph.Edge) int32 {
+			// In the congested clique, the listing node hosting an edge is
+			// its tail vertex itself (every vertex is a listing node, with
+			// new ID = vertex ID).
+			owner := orient.Owner(e)
+			if owner < 0 {
+				owner = e.U
+			}
+			return int32(owner)
+		})
+	if err != nil {
+		return nil, err
+	}
+	rounds := cm.CliqueRounds(k, res.MaxNodeLoad)
+	ledger.Charge("congested-clique-listing", rounds, res.TotalMessages)
+	res.Parts = t
+	return res, nil
+}
+
+// InCluster runs the §2.4.3 step inside one cluster: heldBy maps each
+// cluster member (by original vertex ID) to the edges it is responsible
+// for after the reshuffle (grouped by simulated tail vertex). The router
+// charges Theorem 2.4 bills for the partition broadcast and the delivery.
+func InCluster(rt *routing.Router, rs *routing.Responsibility, in Input, cm congest.CostModel, ledger *congest.Ledger, heldBy map[graph.V]graph.EdgeList) (*Result, error) {
+	if in.P < 3 {
+		return nil, fmt.Errorf("sparselist: p=%d < 3", in.P)
+	}
+	cl := rt.Cluster()
+	k := cl.K()
+	t := partition.PartsForListing(k, in.P)
+	rng := rand.New(rand.NewSource(in.Seed))
+	part := partition.Random(in.N, t, rng)
+	asg, err := partition.NewAssignment(k, t, in.P)
+	if err != nil {
+		return nil, fmt.Errorf("sparselist: %w", err)
+	}
+
+	// Phase: broadcast part choices. Every node draws the choices for the
+	// O(n/k) vertices it simulates and broadcasts them to all k members:
+	// each member sends and receives O(n) words (§2.4.3 charges Õ(n^{1−δ})
+	// rounds via Theorem 2.4).
+	sent := make(map[graph.V]int64, k)
+	recv := make(map[graph.V]int64, k)
+	for i := 0; i < k; i++ {
+		lo, hi := rs.Range(i)
+		member := cl.ByNewID(i)
+		sent[member] = int64(hi-lo) * int64(k-1)
+		recv[member] = int64(in.N) - int64(hi-lo)
+	}
+	if err := rt.ChargeLoads(ledger, "cluster-partition-broadcast", sent, recv); err != nil {
+		return nil, err
+	}
+
+	// Validate holders and flatten the held edges; ownership for delivery
+	// accounting is the holder's new ID.
+	ownerOf := make(map[graph.Edge]int32)
+	var all graph.EdgeList
+	for member, el := range heldBy {
+		id := cl.NewID(member)
+		if id < 0 {
+			return nil, fmt.Errorf("sparselist: holder %d not in cluster %d", member, cl.ID)
+		}
+		for _, e := range el {
+			e = e.Canon()
+			if _, dup := ownerOf[e]; !dup {
+				ownerOf[e] = int32(id)
+				all = append(all, e)
+			}
+		}
+	}
+	all.Normalize()
+
+	res, err := runListing(in.P, all, nil, part, asg, func(e graph.Edge) int32 {
+		return ownerOf[e.Canon()]
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Phase: deliver edges to subscribers, Theorem 2.4 inside the cluster.
+	rounds := cm.RouteRounds(in.N, res.MaxNodeLoad, int64(cl.MinDegree)) * cm.CliquePolylog(in.N)
+	ledger.ChargeMax("cluster-sparse-listing", rounds, res.TotalMessages)
+	res.Parts = t
+	return res, nil
+}
+
+// runListing performs the shared delivery accounting and local listing.
+// realEdges are listed; fakeEdges only contribute to loads. hostOf returns
+// the listing-node ID (in [k]) hosting each edge.
+func runListing(p int, realEdges, fakeEdges graph.EdgeList,
+	part *partition.Partition, asg *partition.Assignment, hostOf func(graph.Edge) int32) (*Result, error) {
+	k := asg.K
+	t := asg.T
+	sent := make([]int64, k)
+	recv := make([]int64, k)
+	var totalMsgs int64
+
+	// edgesByPair collects real edges per part pair for the listing step;
+	// fake edges are accounted but never listed.
+	edgesByPair := make([][]graph.Edge, partition.NumPairs(t))
+	account := func(e graph.Edge, real bool) error {
+		host := hostOf(e)
+		if host < 0 || int(host) >= k {
+			return fmt.Errorf("sparselist: edge %v hosted by invalid node %d", e, host)
+		}
+		pa, pb := part.PartOf[e.U], part.PartOf[e.V]
+		subs := asg.Subscribers(pa, pb)
+		sent[host] += int64(len(subs))
+		totalMsgs += int64(len(subs))
+		for _, s := range subs {
+			recv[s]++
+		}
+		if real {
+			edgesByPair[partition.PairIndex(int(pa), int(pb), t)] = append(
+				edgesByPair[partition.PairIndex(int(pa), int(pb), t)], e)
+		}
+		return nil
+	}
+	for _, e := range realEdges {
+		if err := account(e, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range fakeEdges {
+		if err := account(e, false); err != nil {
+			return nil, err
+		}
+	}
+	var maxLoad, maxPair int64
+	for i := 0; i < k; i++ {
+		if l := sent[i] + recv[i]; l > maxLoad {
+			maxLoad = l
+		}
+	}
+	for _, el := range edgesByPair {
+		if int64(len(el)) > maxPair {
+			maxPair = int64(len(el))
+		}
+	}
+
+	// Local listing: nodes with the same part multiset see the same edges,
+	// so we list once per distinct multiset (outputs are identical to
+	// every node listing independently; the bill above already reflects
+	// the full redundant delivery).
+	cliques := make(graph.CliqueSet)
+	seenMultiset := make(map[string]bool)
+	total := partition.TupleCount(t, p)
+	for id := 0; id < total; id++ {
+		tup := asg.Tuples[id]
+		key := multisetKey(tup)
+		if seenMultiset[key] {
+			continue
+		}
+		seenMultiset[key] = true
+		var local []graph.Edge
+		seenPair := make(map[int]bool, p*p)
+		for i := 0; i < p; i++ {
+			for j := i; j < p; j++ {
+				pi := partition.PairIndex(int(tup[i]), int(tup[j]), t)
+				if seenPair[pi] {
+					continue
+				}
+				seenPair[pi] = true
+				local = append(local, edgesByPair[pi]...)
+			}
+		}
+		ll := graph.NewLocalLister(local)
+		ll.VisitCliques(p, func(c graph.Clique) {
+			cliques.Add(c)
+		})
+	}
+	return &Result{
+		Cliques:       cliques,
+		MaxNodeLoad:   maxLoad,
+		TotalMessages: totalMsgs,
+		MaxPairEdges:  maxPair,
+	}, nil
+}
+
+func multisetKey(tup partition.Tuple) string {
+	s := make([]int32, len(tup))
+	copy(s, tup)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	b := make([]byte, 0, len(s)*2)
+	for _, d := range s {
+		b = append(b, byte(d), byte(d>>8))
+	}
+	return string(b)
+}
+
+// padFakeEdges implements the §4 padding: if m/n^{1/p} < 20·n·log n, add
+// random fake edges (possibly parallel to real ones — they are distinct
+// words on the wire) until equality. Fake edges are accounted for load but
+// never listed.
+func padFakeEdges(n, p int, edges graph.EdgeList, rng *rand.Rand) graph.EdgeList {
+	if n < 2 {
+		return edges
+	}
+	nroot := float64(n)
+	target := int64(20 * nroot * float64(congest.Log2Ceil(n)) * math.Pow(nroot, 1.0/float64(p)))
+	if int64(len(edges)) >= target {
+		return edges
+	}
+	out := make(graph.EdgeList, len(edges), target)
+	copy(out, edges)
+	for int64(len(out)) < target {
+		u := graph.V(rng.Intn(n))
+		v := graph.V(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		out = append(out, graph.Edge{U: u, V: v}.Canon())
+	}
+	return out
+}
+
+// CongestedCliqueOnGraph is a convenience wrapper: list all Kp of g in the
+// congested clique model, verifying nothing is fabricated (every returned
+// clique is checked against g).
+func CongestedCliqueOnGraph(g *graph.Graph, p int, seed int64, cm congest.CostModel, ledger *congest.Ledger) (*Result, error) {
+	in := Input{N: g.N(), P: p, Edges: graph.NewEdgeList(g.Edges()), Seed: seed}
+	res, err := CongestedClique(in, false, cm, ledger)
+	if err != nil {
+		return nil, err
+	}
+	for key := range res.Cliques {
+		c := graph.CliqueFromKey(key)
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !g.HasEdge(c[i], c[j]) {
+					return nil, fmt.Errorf("sparselist: fabricated clique %v", c)
+				}
+			}
+		}
+	}
+	return res, nil
+}
