@@ -28,9 +28,10 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only  = fs.String("only", "", "comma-separated experiments to run (e1..e7); empty = all")
-		quick = fs.Bool("quick", false, "small sizes for a fast smoke run")
-		seed  = fs.Int64("seed", 1, "random seed")
+		only    = fs.String("only", "", "comma-separated experiments to run (e1..e7); empty = all")
+		quick   = fs.Bool("quick", false, "small sizes for a fast smoke run")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +44,7 @@ func run(args []string, w io.Writer) error {
 	}
 	enabled := func(tag string) bool { return len(want) == 0 || want[tag] }
 
-	cfg := bench.Config{Seed: *seed}
+	cfg := bench.Config{Seed: *seed, Workers: *workers}
 	ablN, ccN := 240, 200
 	if *quick {
 		cfg.Sizes = []int{256, 384, 512}
@@ -63,9 +64,9 @@ func run(args []string, w io.Writer) error {
 		{"e3", func() ([]bench.Series, error) { return bench.E3CongestedClique(cfg) }},
 		{"e4", func() ([]bench.Series, error) { return bench.E4Comparison(cfg) }},
 		{"e5", func() ([]bench.Series, error) { return bench.E5LowerBoundGap(cfg) }},
-		{"e6", func() ([]bench.Series, error) { return bench.E6IterativeDecay(ablN, 0.4, *seed) }},
-		{"e7", func() ([]bench.Series, error) { return bench.E7Ablations(ablN, 0.4, *seed) }},
-		{"e8", func() ([]bench.Series, error) { return bench.E8CountingVsListing(ccN, *seed) }},
+		{"e6", func() ([]bench.Series, error) { return bench.E6IterativeDecay(ablN, 0.4, *seed, *workers) }},
+		{"e7", func() ([]bench.Series, error) { return bench.E7Ablations(ablN, 0.4, *seed, *workers) }},
+		{"e8", func() ([]bench.Series, error) { return bench.E8CountingVsListing(ccN, *seed, *workers) }},
 	}
 	for _, r := range runners {
 		if !enabled(r.tag) {

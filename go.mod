@@ -1,0 +1,3 @@
+module kplist
+
+go 1.24

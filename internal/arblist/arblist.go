@@ -3,6 +3,8 @@ package arblist
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"kplist/internal/congest"
 	"kplist/internal/expander"
@@ -106,16 +108,79 @@ func ArbList(n int, es graph.EdgeList, esOrient *graph.Orientation, er graph.Edg
 	cliques := make(graph.CliqueSet)
 	var badEdgesAll graph.EdgeList
 
-	// Per-cluster phases run in parallel across clusters: charge them to a
-	// local ledger with ChargeMax, then fold into the caller's ledger (so
-	// sequential ARB-LIST invocations add up).
-	local := &congest.Ledger{}
-	for _, cl := range decomp.Clusters {
-		badEdges, err := processCluster(n, fullGraph, fullOrient, cl, prm, heavyThr, badThr, cm, local, cliques, &stats)
-		if err != nil {
-			return nil, fmt.Errorf("arblist: cluster %d: %w", cl.ID, err)
+	// Per-cluster phases run in parallel across clusters in the paper's
+	// model, and we simulate them the same way: each cluster is processed
+	// on its own host goroutine against a private ledger / clique set /
+	// stats census, and the results are folded in cluster order, so the
+	// outcome is bit-identical to the sequential loop at any worker count.
+	// Every per-cluster phase charges with ChargeMax, so folding the
+	// private ledgers with MergeMax reproduces exactly the parallel
+	// super-phase bill (max rounds across clusters, messages summed).
+	type clusterOut struct {
+		bad     graph.EdgeList
+		cliques graph.CliqueSet
+		stats   ArbStats
+		ledger  *congest.Ledger
+		err     error
+	}
+	outs := make([]clusterOut, len(decomp.Clusters))
+	var failed atomic.Bool // short-circuits remaining clusters once one errs
+	runCluster := func(i int) {
+		if failed.Load() {
+			return
 		}
-		badEdgesAll = append(badEdgesAll, badEdges...)
+		out := &outs[i]
+		out.cliques = make(graph.CliqueSet)
+		out.ledger = &congest.Ledger{}
+		out.bad, out.err = processCluster(n, fullGraph, fullOrient, decomp.Clusters[i],
+			prm, heavyThr, badThr, cm, out.ledger, out.cliques, &out.stats)
+		if out.err != nil {
+			failed.Store(true)
+		}
+	}
+	if workers := prm.workers(); workers <= 1 || len(decomp.Clusters) <= 1 {
+		for i := range decomp.Clusters {
+			runCluster(i)
+			if outs[i].err != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range decomp.Clusters {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runCluster(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	// Surface the first (by cluster order) error before folding: once one
+	// cluster fails, later clusters may have been skipped entirely and
+	// carry no results to merge.
+	for i, cl := range decomp.Clusters {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("arblist: cluster %d: %w", cl.ID, outs[i].err)
+		}
+	}
+	local := &congest.Ledger{}
+	for i := range decomp.Clusters {
+		out := &outs[i]
+		for key := range out.cliques {
+			cliques[key] = struct{}{}
+		}
+		stats.HeavyNodes += out.stats.HeavyNodes
+		stats.LightNodes += out.stats.LightNodes
+		stats.BadNodes += out.stats.BadNodes
+		if out.stats.MaxLearned > stats.MaxLearned {
+			stats.MaxLearned = out.stats.MaxLearned
+		}
+		local.MergeMax(out.ledger)
+		badEdgesAll = append(badEdgesAll, out.bad...)
 	}
 	if prm.FastK4 {
 		// §3: light-incident K4s are listed by the light nodes themselves,

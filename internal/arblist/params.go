@@ -9,6 +9,7 @@ package arblist
 
 import (
 	"math"
+	"runtime"
 
 	"kplist/internal/congest"
 )
@@ -48,6 +49,20 @@ type Params struct {
 	// still non-empty at the cap, LIST falls back to broadcast listing of
 	// the remainder (charged honestly).
 	MaxIterations int
+	// Workers bounds the host goroutines used to simulate per-cluster
+	// phases, which the paper runs in parallel across clusters. 0 means
+	// GOMAXPROCS; 1 forces the fully sequential loop. The output (cliques,
+	// edge sets, stats, and ledger bill) is identical for every value:
+	// clusters are isolated and their results are merged in cluster order.
+	Workers int
+}
+
+// workers resolves the cluster-simulation parallelism.
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // clusterThreshold resolves the peel threshold for an n-vertex graph whose

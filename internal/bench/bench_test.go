@@ -159,7 +159,7 @@ func TestE5Smoke(t *testing.T) {
 }
 
 func TestE6Smoke(t *testing.T) {
-	series, err := E6IterativeDecay(96, 0.4, 3)
+	series, err := E6IterativeDecay(96, 0.4, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestE6Smoke(t *testing.T) {
 }
 
 func TestE7Smoke(t *testing.T) {
-	series, err := E7Ablations(96, 0.4, 3)
+	series, err := E7Ablations(96, 0.4, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestE7Smoke(t *testing.T) {
 }
 
 func TestE8Smoke(t *testing.T) {
-	series, err := E8CountingVsListing(80, 3)
+	series, err := E8CountingVsListing(80, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

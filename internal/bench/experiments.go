@@ -38,6 +38,11 @@ type Config struct {
 	// round structure is measurable. Set to a negative value to use the
 	// paper-literal cutoff.
 	FinalExponent float64
+	// Workers bounds the host goroutines used to simulate parallel
+	// per-cluster phases (threaded through core and arblist). 0 means
+	// GOMAXPROCS; the measured round bills are identical for every value —
+	// only wall-clock changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +164,7 @@ func E1Theorem11(cfg Config) ([]Series, error) {
 				var ledger congest.Ledger
 				res, err := core.ListCliques(g, core.Params{
 					P: p, Seed: seed, FinalExponent: cfg.FinalExponent, ClusterThreshold: thr,
+					Workers: cfg.Workers,
 				}, congest.UnitCosts(), &ledger)
 				if err != nil {
 					return nil, fmt.Errorf("E1 n=%d p=%d: %w", n, p, err)
@@ -203,7 +209,7 @@ func E2FastK4(cfg Config) ([]Series, error) {
 				var ledger congest.Ledger
 				res, err := core.ListCliques(g, core.Params{
 					P: 4, FastK4: mode.fastK4, Seed: seed, FinalExponent: cfg.FinalExponent,
-					ClusterThreshold: thr,
+					ClusterThreshold: thr, Workers: cfg.Workers,
 				}, congest.UnitCosts(), &ledger)
 				if err != nil {
 					return nil, fmt.Errorf("E2 n=%d fast=%v: %w", n, mode.fastK4, err)
@@ -253,7 +259,7 @@ func E3CongestedClique(cfg Config) ([]Series, error) {
 			}
 			g := graph.GNM(cfg.CCN, m, rand.New(rand.NewSource(cfg.Seed+int64(m))))
 			var ledger congest.Ledger
-			res, err := sparselist.CongestedCliqueOnGraph(g, p, cfg.Seed, congest.UnitCosts(), &ledger)
+			res, err := sparselist.CongestedCliqueOnGraph(g, p, cfg.Seed, cfg.Workers, congest.UnitCosts(), &ledger)
 			if err != nil {
 				return nil, fmt.Errorf("E3 m=%d p=%d: %w", m, p, err)
 			}
@@ -304,7 +310,7 @@ func E4Comparison(cfg Config) ([]Series, error) {
 			var l1 congest.Ledger
 			r1, err := core.ListCliques(g, core.Params{
 				P: 4, FastK4: true, Seed: seed, FinalExponent: cfg.FinalExponent,
-				ClusterThreshold: thr,
+				ClusterThreshold: thr, Workers: cfg.Workers,
 			}, congest.UnitCosts(), &l1)
 			if err != nil {
 				return nil, fmt.Errorf("E4 ours4 n=%d: %w", n, err)
@@ -315,7 +321,7 @@ func E4Comparison(cfg Config) ([]Series, error) {
 			var l5 congest.Ledger
 			r5, err := core.ListCliques(g, core.Params{
 				P: 5, Seed: seed, FinalExponent: cfg.FinalExponent,
-				ClusterThreshold: thr,
+				ClusterThreshold: thr, Workers: cfg.Workers,
 			}, congest.UnitCosts(), &l5)
 			if err != nil {
 				return nil, fmt.Errorf("E4 ours5 n=%d: %w", n, err)
@@ -385,13 +391,13 @@ func E5LowerBoundGap(cfg Config) ([]Series, error) {
 // power-law graph (dense core, sparse fringe — the family that makes the
 // iterations non-trivial): |Er| per ARB-LIST pass (paper: ≤ |Er|/4 + bad)
 // and the arboricity ladder of the outer loop (paper: halving).
-func E6IterativeDecay(n int, density float64, seed int64) ([]Series, error) {
+func E6IterativeDecay(n int, density float64, seed int64, workers int) ([]Series, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.ChungLu(graph.PowerLawWeights(n, 2.2, 12), rng)
 	const thr = 6
 	var ledger congest.Ledger
 	lres, err := arblist.List(g.N(), graph.NewEdgeList(g.Edges()),
-		arblist.Params{P: 4, Seed: seed, ClusterThreshold: thr}, congest.UnitCosts(), &ledger)
+		arblist.Params{P: 4, Seed: seed, ClusterThreshold: thr, Workers: workers}, congest.UnitCosts(), &ledger)
 	if err != nil {
 		return nil, fmt.Errorf("E6 LIST: %w", err)
 	}
@@ -400,7 +406,7 @@ func E6IterativeDecay(n int, density float64, seed int64) ([]Series, error) {
 		erDecay.Points = append(erDecay.Points, Point{X: float64(i), Rounds: int64(sz)})
 	}
 	var ledger2 congest.Ledger
-	cres, err := core.ListCliques(g, core.Params{P: 4, Seed: seed, FinalExponent: 0.1, ClusterThreshold: thr}, congest.UnitCosts(), &ledger2)
+	cres, err := core.ListCliques(g, core.Params{P: 4, Seed: seed, FinalExponent: 0.1, ClusterThreshold: thr, Workers: workers}, congest.UnitCosts(), &ledger2)
 	if err != nil {
 		return nil, fmt.Errorf("E6 core: %w", err)
 	}
@@ -439,7 +445,7 @@ func celebrityGraph(n, pocket int, seed int64) *graph.Graph {
 // rounds and max per-node learned edges,
 // (b) sparsity-aware vs naive in-cluster listing across sizes,
 // (c) heavy-threshold sweep.
-func E7Ablations(n int, density float64, seed int64) ([]Series, error) {
+func E7Ablations(n int, density float64, seed int64, workers int) ([]Series, error) {
 	// (a) bad-edge delaying on the celebrity workload.
 	gc := celebrityGraph(maxI(n, 320), 80, seed)
 	elc := graph.NewEdgeList(gc.Edges())
@@ -451,7 +457,7 @@ func E7Ablations(n int, density float64, seed int64) ([]Series, error) {
 	}{{&aOn, 0}, {&aOff, 1 << 30}} {
 		var ledger congest.Ledger
 		res, err := arblist.ArbList(gc.N(), nil, nil, elc,
-			arblist.Params{P: 4, Seed: seed, BadThreshold: mode.thr, ClusterThreshold: 10},
+			arblist.Params{P: 4, Seed: seed, BadThreshold: mode.thr, ClusterThreshold: 10, Workers: workers},
 			congest.UnitCosts(), &ledger)
 		if err != nil {
 			return nil, fmt.Errorf("E7a: %w", err)
@@ -478,7 +484,7 @@ func E7Ablations(n int, density float64, seed int64) ([]Series, error) {
 		el := graph.NewEdgeList(g.Edges())
 		var ledger congest.Ledger
 		if _, err := arblist.ArbList(g.N(), nil, nil, el,
-			arblist.Params{P: 4, Seed: seed, ClusterThreshold: thr},
+			arblist.Params{P: 4, Seed: seed, ClusterThreshold: thr, Workers: workers},
 			congest.UnitCosts(), &ledger); err != nil {
 			return nil, err
 		}
@@ -500,7 +506,7 @@ func E7Ablations(n int, density float64, seed int64) ([]Series, error) {
 	for _, thr := range []int{2, 4, 8, 16, 32} {
 		var ledger congest.Ledger
 		res, err := arblist.ArbList(g7.N(), nil, nil, el7,
-			arblist.Params{P: 4, Seed: seed, HeavyThreshold: thr, ClusterThreshold: thr7},
+			arblist.Params{P: 4, Seed: seed, HeavyThreshold: thr, ClusterThreshold: thr7, Workers: workers},
 			congest.UnitCosts(), &ledger)
 		if err != nil {
 			return nil, fmt.Errorf("E7c thr=%d: %w", thr, err)
@@ -529,7 +535,7 @@ func maxI(a, b int) int {
 // lister (Θ̃(1 + m/n^{5/3}) rounds) in the CONGESTED CLIQUE, sweeping
 // density at fixed n. The lister wins while the graph is sparse; the
 // counter wins once m crosses ≈ n^{4/3+1/3}.
-func E8CountingVsListing(n int, seed int64) ([]Series, error) {
+func E8CountingVsListing(n int, seed int64, workers int) ([]Series, error) {
 	counting := Series{Name: fmt.Sprintf("E8: algebraic triangle counting (CC, n=%d)", n), XLabel: "m"}
 	listing := Series{Name: fmt.Sprintf("E8: sparsity-aware triangle listing (CC, n=%d)", n), XLabel: "m"}
 	maxM := n * (n - 1) / 2
@@ -546,7 +552,7 @@ func E8CountingVsListing(n int, seed int64) ([]Series, error) {
 			Meta: map[string]float64{"triangles": float64(count)},
 		})
 		var ll congest.Ledger
-		res, err := sparselist.CongestedCliqueOnGraph(g, 3, seed, congest.UnitCosts(), &ll)
+		res, err := sparselist.CongestedCliqueOnGraph(g, 3, seed, workers, congest.UnitCosts(), &ll)
 		if err != nil {
 			return nil, fmt.Errorf("E8 list m=%d: %w", m, err)
 		}

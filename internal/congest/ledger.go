@@ -118,8 +118,21 @@ func (l *Ledger) Phases() []PhaseCost {
 	return out
 }
 
-// Merge adds every phase of other into l.
-func (l *Ledger) Merge(other *Ledger) {
+// Merge adds every phase of other into l (sequential composition: rounds,
+// messages, and calls all add).
+func (l *Ledger) Merge(other *Ledger) { l.mergeFrom(other, false) }
+
+// MergeMax folds other into l the way parallel sub-executions bill: per
+// phase, rounds take the maximum of the two sides (the wall-clock of
+// parallel work is the slowest participant) while messages and calls add.
+// It is the merge matching ChargeMax: charging phases from k workers into
+// one shared ledger via ChargeMax is equivalent to charging each worker's
+// private ledger and MergeMax-ing them afterwards, which is how the
+// cluster-parallel ARB-LIST keeps its bill identical to the sequential
+// loop's.
+func (l *Ledger) MergeMax(other *Ledger) { l.mergeFrom(other, true) }
+
+func (l *Ledger) mergeFrom(other *Ledger, maxRounds bool) {
 	for _, pc := range other.Phases() {
 		l.mu.Lock()
 		if l.phases == nil {
@@ -131,7 +144,13 @@ func (l *Ledger) Merge(other *Ledger) {
 			l.phases[pc.Name] = dst
 			l.order = append(l.order, pc.Name)
 		}
-		dst.Rounds += pc.Rounds
+		if maxRounds {
+			if pc.Rounds > dst.Rounds {
+				dst.Rounds = pc.Rounds
+			}
+		} else {
+			dst.Rounds += pc.Rounds
+		}
 		dst.Messages += pc.Messages
 		dst.Calls += pc.Calls
 		l.mu.Unlock()

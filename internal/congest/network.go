@@ -3,8 +3,8 @@ package congest
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kplist/internal/graph"
 )
@@ -38,7 +38,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats reports what a run of the real engine actually used.
+// Stats reports what a run of the engine actually used: Rounds is the
+// number of barriers (synchronous message exchanges) executed, Messages the
+// number of words delivered across them. Engines agree on these numbers:
+// for the same program, Run/RunMachines, RunSequential, and RunParallel
+// report identical Stats (the equivalence tests assert this).
 type Stats struct {
 	Rounds   int
 	Messages int64
@@ -48,14 +52,20 @@ type Stats struct {
 // graph. Each node runs a NodeFunc on its own goroutine; rounds advance in
 // lockstep when every live node has reached the barrier; per-edge bandwidth
 // is enforced mechanically (Send fails when the edge is full).
+//
+// The engine is sharded: each node's outbox is private to its goroutine
+// (Send takes no lock — it appends into a neighbor-indexed slot buffer),
+// and the only global synchronization is the round barrier, where delivery
+// is merged in parallel across destination nodes.
 type Network struct {
 	g    *graph.Graph
 	opts Options
+	ei   *edgeIndex
 }
 
 // NewNetwork creates an engine over the communication graph g.
 func NewNetwork(g *graph.Graph, opts Options) *Network {
-	return &Network{g: g, opts: opts.withDefaults()}
+	return &Network{g: g, opts: opts.withDefaults(), ei: newEdgeIndex(g)}
 }
 
 // runState is the shared coordinator state of one Run.
@@ -63,16 +73,19 @@ type runState struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	net     *Network
-	round   int
+	round   atomic.Int64
+	aborted atomic.Bool
 	waiting int
 	active  int
-	aborted bool
 	err     error
-	// outbox[v] holds words queued by v this round, keyed by destination.
-	outbox []map[graph.V][]Word
-	// inbox[v] holds messages delivered to v at the last barrier.
+	// shards holds the per-node outboxes; node v writes only shards.out[v]
+	// between barriers, so Send is lock-free.
+	shards *shardSet
+	// inbox[v] is rebuilt at every barrier (freshly allocated: programs may
+	// legally retain the slice NextRound hands them).
 	inbox    [][]Message
 	messages int64
+	workers  int
 }
 
 // Context is the API a NodeFunc uses to interact with the network.
@@ -89,11 +102,7 @@ func (c *Context) ID() graph.V { return c.id }
 func (c *Context) N() int { return c.st.net.g.N() }
 
 // Round returns the current round number (0 before the first barrier).
-func (c *Context) Round() int {
-	c.st.mu.Lock()
-	defer c.st.mu.Unlock()
-	return c.st.round
-}
+func (c *Context) Round() int { return int(c.st.round.Load()) }
 
 // Neighbors returns this node's sorted neighbor list (shared; do not modify).
 func (c *Context) Neighbors() []graph.V { return c.st.net.g.Neighbors(c.id) }
@@ -109,30 +118,42 @@ func (c *Context) HasNeighbor(v graph.V) bool { return c.st.net.g.HasEdge(c.id, 
 // is exhausted, or if the run has been aborted. Failing on overflow — not
 // silently queueing — is what makes the engine a mechanical check of the
 // CONGEST bandwidth constraint.
+//
+// Send touches only this node's own outbox shard and takes no lock.
 func (c *Context) Send(to graph.V, w Word) error {
 	st := c.st
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.aborted {
+	if st.aborted.Load() {
 		return ErrAborted
 	}
-	if !st.net.g.HasEdge(c.id, to) {
+	slot := st.net.ei.slot(c.id, to)
+	if slot < 0 {
 		return fmt.Errorf("congest: node %d sending to non-neighbor %d", c.id, to)
 	}
-	box := st.outbox[c.id]
-	if len(box[to]) >= st.net.opts.EdgeCapacity {
+	return c.queue(slot, to, w)
+}
+
+// queue is the shared bandwidth-enforcement path of Send and Broadcast:
+// append w to this node's slot buffer unless the edge is at capacity.
+func (c *Context) queue(slot int, to graph.V, w Word) error {
+	st := c.st
+	box := st.shards.out[c.id]
+	if len(box[slot]) >= st.net.opts.EdgeCapacity {
 		return fmt.Errorf("congest: node %d exceeded capacity %d on edge to %d in round %d",
-			c.id, st.net.opts.EdgeCapacity, to, st.round)
+			c.id, st.net.opts.EdgeCapacity, to, st.round.Load())
 	}
-	box[to] = append(box[to], w)
+	box[slot] = append(box[slot], w)
+	st.shards.sent[c.id]++
 	return nil
 }
 
 // Broadcast queues the same word to every neighbor. Same capacity rules as
 // Send.
 func (c *Context) Broadcast(w Word) error {
-	for _, nb := range c.Neighbors() {
-		if err := c.Send(nb, w); err != nil {
+	if c.st.aborted.Load() {
+		return ErrAborted
+	}
+	for slot, nb := range c.Neighbors() {
+		if err := c.queue(slot, nb, w); err != nil {
 			return err
 		}
 	}
@@ -146,50 +167,51 @@ func (c *Context) NextRound() ([]Message, error) {
 	st := c.st
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.aborted {
+	if st.aborted.Load() {
 		return nil, ErrAborted
 	}
-	gen := st.round
+	gen := st.round.Load()
 	st.waiting++
 	if st.waiting >= st.active {
 		st.advanceLocked()
 	} else {
-		for st.round == gen && !st.aborted {
+		for st.round.Load() == gen && !st.aborted.Load() {
 			st.cond.Wait()
 		}
 	}
-	if st.aborted {
+	if st.aborted.Load() {
 		return nil, ErrAborted
 	}
 	c.in = st.inbox[c.id]
-	st.inbox[c.id] = nil
 	return c.in, nil
 }
 
-// advanceLocked delivers all queued messages and advances the round.
-// Callers hold st.mu.
+// advanceLocked delivers all queued messages and advances the round. The
+// caller holds st.mu and every other live node is blocked on the condition
+// variable, so the delivery workers have exclusive access to the shards.
 func (st *runState) advanceLocked() {
 	n := st.net.g.N()
-	for v := 0; v < n; v++ {
-		box := st.outbox[v]
-		if len(box) == 0 {
-			continue
-		}
-		for to, words := range box {
-			for _, w := range words {
-				st.inbox[to] = append(st.inbox[to], Message{From: graph.V(v), Word: w})
-				st.messages++
+	total := st.shards.takeQueued()
+	if total > 0 {
+		parallelFor(n, st.workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				cnt := st.shards.countFor(graph.V(v))
+				if cnt == 0 {
+					st.inbox[v] = nil
+					continue
+				}
+				st.inbox[v] = st.shards.gather(graph.V(v), make([]Message, 0, cnt))
 			}
-			delete(box, to)
+		})
+		st.messages += total
+	} else {
+		for v := 0; v < n; v++ {
+			st.inbox[v] = nil
 		}
 	}
-	for v := 0; v < n; v++ {
-		in := st.inbox[v]
-		sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
-	}
-	st.round++
+	st.round.Add(1)
 	st.waiting = 0
-	if st.round > st.net.opts.MaxRounds {
+	if int(st.round.Load()) > st.net.opts.MaxRounds {
 		st.abortLocked(fmt.Errorf("congest: exceeded MaxRounds=%d", st.net.opts.MaxRounds))
 		return
 	}
@@ -197,8 +219,8 @@ func (st *runState) advanceLocked() {
 }
 
 func (st *runState) abortLocked(err error) {
-	if !st.aborted {
-		st.aborted = true
+	if !st.aborted.Load() {
+		st.aborted.Store(true)
 		st.err = err
 	}
 	st.cond.Broadcast()
@@ -210,24 +232,22 @@ func (st *runState) finish() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.active--
-	if st.active > 0 && st.waiting >= st.active && !st.aborted {
+	if st.active > 0 && st.waiting >= st.active && !st.aborted.Load() {
 		st.advanceLocked()
 	}
 }
 
 // Run executes prog on every node until all programs return. It returns
 // engine statistics (rounds consumed, total messages delivered) and the
-// first program error, if any. Inboxes are delivered sorted by sender, so
-// runs are deterministic for deterministic programs.
+// first program error, if any. Inboxes are delivered sorted by sender (ties
+// between words of one sender keep send order), so runs are deterministic
+// for deterministic programs.
 func (net *Network) Run(prog NodeFunc) (Stats, error) {
 	n := net.g.N()
-	st := &runState{net: net, active: n}
+	st := &runState{net: net, active: n, workers: deliveryWorkers(n)}
 	st.cond = sync.NewCond(&st.mu)
-	st.outbox = make([]map[graph.V][]Word, n)
+	st.shards = newShardSet(net.ei)
 	st.inbox = make([][]Message, n)
-	for v := 0; v < n; v++ {
-		st.outbox[v] = make(map[graph.V][]Word)
-	}
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -255,5 +275,30 @@ func (net *Network) Run(prog NodeFunc) (Stats, error) {
 	if firstErr == nil && st.err != nil {
 		firstErr = st.err
 	}
-	return Stats{Rounds: st.round, Messages: st.messages}, firstErr
+	return Stats{Rounds: int(st.round.Load()), Messages: st.messages}, firstErr
+}
+
+// RunMachines executes a Machine program (the sequential engines' interface)
+// on the goroutine engine: each node steps its machine once per round and
+// blocks at the barrier between steps. For the same machines and options,
+// RunMachines, RunSequential, and RunParallel return identical Stats and
+// deliver identical inboxes — the cross-engine equivalence tests rely on
+// this adapter.
+func (net *Network) RunMachines(mk MachineMaker) (Stats, error) {
+	return net.Run(func(ctx *Context) error {
+		m := mk(ctx.ID(), net.g)
+		var in []Message
+		for r := 0; ; r++ {
+			done, err := m.Step(r, in, func(to graph.V, w Word) error { return ctx.Send(to, w) })
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			if in, err = ctx.NextRound(); err != nil {
+				return err
+			}
+		}
+	})
 }

@@ -2,32 +2,60 @@ package congest
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 
 	"kplist/internal/graph"
 )
 
-// Machine is the per-node program interface of the sequential engine: an
-// explicit state machine stepped once per round. The sequential engine has
+// Machine is the per-node program interface of the lockstep engines: an
+// explicit state machine stepped once per round. The machine engines have
 // identical semantics to the goroutine Network (same per-edge capacity,
-// same sorted delivery order) and exists for deterministic debugging and
-// for cross-validating the real engine; the equivalence is tested.
+// same sorted delivery order, same Stats) and exist for deterministic
+// debugging and for cross-validating the real engine; the equivalence is
+// tested.
 type Machine interface {
 	// Step is invoked once per round with the messages delivered this
 	// round (sorted by sender). The machine sends by calling send, which
 	// enforces the per-edge capacity exactly like Context.Send. Returning
 	// done=true ends this node's participation; its queued messages are
-	// still delivered.
+	// still delivered (unless every machine finished this round, in which
+	// case there is no one left to receive them and no further round is
+	// billed).
+	//
+	// The `in` slice is owned by the engine and reused across rounds:
+	// machines must not retain it past the Step call. Under RunParallel,
+	// machines of different nodes are stepped concurrently and must not
+	// share mutable state.
 	Step(round int, in []Message, send func(to graph.V, w Word) error) (done bool, err error)
 }
 
 // MachineMaker constructs the machine for each node.
 type MachineMaker func(id graph.V, g *graph.Graph) Machine
 
-// RunSequential executes machines over g in lockstep rounds, sequentially
-// and deterministically, until every machine reports done. Semantics match
-// Network.Run.
+// RunSequential executes machines over g in lockstep rounds on a single
+// goroutine, deterministically, until every machine reports done. Semantics
+// match Network.RunMachines: identical Stats, identical inboxes.
 func RunSequential(g *graph.Graph, mk MachineMaker, opts Options) (Stats, error) {
+	return runMachines(g, mk, opts, 1)
+}
+
+// RunParallel is RunSequential with the per-round work spread across CPUs:
+// machines are stepped concurrently into per-sender outbox shards, and the
+// barrier merge assembles every inbox in parallel. Delivery is merged
+// deterministically (ascending sender, send order per sender), so
+// RunParallel produces bit-identical Stats and inbox orderings to
+// RunSequential for machines that do not share mutable state.
+func RunParallel(g *graph.Graph, mk MachineMaker, opts Options) (Stats, error) {
+	return runMachines(g, mk, opts, runtime.GOMAXPROCS(0))
+}
+
+// runMachines is the shared lockstep driver: step every live machine
+// (inline, or chunked over `workers` goroutines), then merge the outbox
+// shards into the reused inbox buffers at the barrier. There is no per-round
+// allocation on the steady-state path: capacity enforcement is the length
+// of the per-edge slot buffer (no map), and inbox/outbox buffers are
+// truncated and reused across rounds.
+func runMachines(g *graph.Graph, mk MachineMaker, opts Options, workers int) (Stats, error) {
 	opts = opts.withDefaults()
 	n := g.N()
 	machines := make([]Machine, n)
@@ -35,49 +63,100 @@ func RunSequential(g *graph.Graph, mk MachineMaker, opts Options) (Stats, error)
 	for v := 0; v < n; v++ {
 		machines[v] = mk(graph.V(v), g)
 	}
+	ei := newEdgeIndex(g)
+	shards := newShardSet(ei)
 	inbox := make([][]Message, n)
-	next := make([][]Message, n)
+
+	round := 0 // read by send closures; written only between step phases
+	sends := make([]func(to graph.V, w Word) error, n)
+	for v := 0; v < n; v++ {
+		id := graph.V(v)
+		box := shards.out[v]
+		sends[v] = func(to graph.V, w Word) error {
+			slot := ei.slot(id, to)
+			if slot < 0 {
+				return fmt.Errorf("congest: node %d sending to non-neighbor %d", id, to)
+			}
+			if len(box[slot]) >= opts.EdgeCapacity {
+				return fmt.Errorf("congest: node %d exceeded capacity %d on edge to %d in round %d",
+					id, opts.EdgeCapacity, to, round)
+			}
+			box[slot] = append(box[slot], w)
+			shards.sent[v]++
+			return nil
+		}
+	}
+
 	var messages int64
-	round := 0
 	live := n
+	errs := make([]error, n)
 	for live > 0 {
 		if round > opts.MaxRounds {
 			return Stats{Rounds: round, Messages: messages}, fmt.Errorf("congest: exceeded MaxRounds=%d", opts.MaxRounds)
 		}
-		sent := make(map[[2]graph.V]int)
-		for v := 0; v < n; v++ {
-			if done[v] {
-				continue
-			}
-			id := graph.V(v)
-			send := func(to graph.V, w Word) error {
-				if !g.HasEdge(id, to) {
-					return fmt.Errorf("congest: node %d sending to non-neighbor %d", id, to)
+		// Step phase. Workers touch disjoint machines, inboxes, and outbox
+		// shards; errors are collected per node and reported for the lowest
+		// node ID, matching the single-threaded order.
+		if workers <= 1 {
+			for v := 0; v < n; v++ {
+				if done[v] {
+					continue
 				}
-				key := [2]graph.V{id, to}
-				if sent[key] >= opts.EdgeCapacity {
-					return fmt.Errorf("congest: node %d exceeded capacity %d on edge to %d in round %d",
-						id, opts.EdgeCapacity, to, round)
+				d, err := machines[v].Step(round, inbox[v], sends[v])
+				if err != nil {
+					return Stats{Rounds: round, Messages: messages}, fmt.Errorf("node %d: %w", v, err)
 				}
-				sent[key]++
-				next[to] = append(next[to], Message{From: id, Word: w})
-				messages++
-				return nil
+				if d {
+					done[v] = true
+					live--
+				}
 			}
-			d, err := machines[v].Step(round, inbox[v], send)
-			if err != nil {
-				return Stats{Rounds: round, Messages: messages}, fmt.Errorf("node %d: %w", v, err)
-			}
-			if d {
-				done[v] = true
-				live--
+		} else {
+			parallelFor(n, workers, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if done[v] {
+						continue
+					}
+					d, err := machines[v].Step(round, inbox[v], sends[v])
+					if err != nil {
+						errs[v] = err
+						continue
+					}
+					if d {
+						done[v] = true
+					}
+				}
+			})
+			live = 0
+			for v := 0; v < n; v++ {
+				if errs[v] != nil {
+					return Stats{Rounds: round, Messages: messages}, fmt.Errorf("node %d: %w", v, errs[v])
+				}
+				if !done[v] {
+					live++
+				}
 			}
 		}
-		for v := 0; v < n; v++ {
-			in := next[v]
-			sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
-			inbox[v] = in
-			next[v] = nil
+		if live == 0 {
+			// Every machine finished this round: nobody is left to receive,
+			// so the final sends are not delivered and no round is billed
+			// (exactly what the goroutine engine does when all programs
+			// return without another barrier).
+			break
+		}
+		// Barrier merge: deterministic regardless of worker count.
+		total := shards.takeQueued()
+		if total > 0 {
+			parallelFor(n, min(workers, deliveryWorkers(n)), func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					inbox[v] = shards.gather(graph.V(v), inbox[v][:0])
+				}
+			})
+			messages += total
+		} else {
+			for v := range inbox {
+				inbox[v] = inbox[v][:0]
+			}
 		}
 		round++
 	}

@@ -1,0 +1,165 @@
+package congest
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"kplist/internal/graph"
+)
+
+// edgeIndex precomputes the reverse slot of every directed edge: for node v
+// with i-th neighbor u, rev[v][i] is the position of v inside u's sorted
+// neighbor list. This is what lets the barrier merge walk a destination's
+// neighbors in ascending order and drain exactly the slots aimed at it —
+// the inbox comes out sorted by sender with no sort call and no map.
+type edgeIndex struct {
+	g   *graph.Graph
+	rev [][]int32
+}
+
+func newEdgeIndex(g *graph.Graph) *edgeIndex {
+	n := g.N()
+	total := 0
+	for v := 0; v < n; v++ {
+		total += g.Degree(graph.V(v))
+	}
+	flat := make([]int32, total)
+	rev := make([][]int32, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.V(v))
+		rev[v] = flat[off : off+d : off+d]
+		off += d
+	}
+	// Sweep vertices ascending: v occurs in each neighbor u's sorted list in
+	// ascending-v order, so one running counter per u yields v's slot in u.
+	cnt := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for i, u := range g.Neighbors(graph.V(v)) {
+			rev[v][i] = cnt[u]
+			cnt[u]++
+		}
+	}
+	return &edgeIndex{g: g, rev: rev}
+}
+
+// slot returns the index of `to` in from's sorted neighbor list, or -1 when
+// the two are not adjacent.
+func (ei *edgeIndex) slot(from, to graph.V) int {
+	nbrs := ei.g.Neighbors(from)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= to })
+	if i < len(nbrs) && nbrs[i] == to {
+		return i
+	}
+	return -1
+}
+
+// shardSet is the sharded outbox state shared by the engines. Node v's
+// words queued this round live in out[v][slot] where slot indexes v's
+// neighbor list; only v itself appends to its shard between barriers, so
+// Send takes no lock. At the barrier, destination u drains out[v][rev[u][i]]
+// for each of its neighbors v — pairwise-disjoint slots, so the merge
+// parallelizes across destinations with no locks either. Slot buffers are
+// truncated (not freed) on drain and reused across rounds.
+type shardSet struct {
+	ei   *edgeIndex
+	out  [][][]Word
+	sent []int64 // words queued by each node this round
+}
+
+func newShardSet(ei *edgeIndex) *shardSet {
+	n := ei.g.N()
+	out := make([][][]Word, n)
+	for v := range out {
+		out[v] = make([][]Word, ei.g.Degree(graph.V(v)))
+	}
+	return &shardSet{ei: ei, out: out, sent: make([]int64, n)}
+}
+
+// takeQueued returns the total number of words queued this round and resets
+// the per-node counters for the next one.
+func (s *shardSet) takeQueued() int64 {
+	var total int64
+	for v := range s.sent {
+		total += s.sent[v]
+		s.sent[v] = 0
+	}
+	return total
+}
+
+// countFor returns the number of words queued for destination v.
+func (s *shardSet) countFor(v graph.V) int {
+	total := 0
+	rev := s.ei.rev[v]
+	for i, u := range s.ei.g.Neighbors(v) {
+		total += len(s.out[u][rev[i]])
+	}
+	return total
+}
+
+// gather drains every word queued for v, appending to buf in ascending
+// sender order (send order preserved per sender), and truncates the drained
+// slots for reuse.
+func (s *shardSet) gather(v graph.V, buf []Message) []Message {
+	rev := s.ei.rev[v]
+	for i, u := range s.ei.g.Neighbors(v) {
+		slot := rev[i]
+		words := s.out[u][slot]
+		if len(words) == 0 {
+			continue
+		}
+		for _, w := range words {
+			buf = append(buf, Message{From: u, Word: w})
+		}
+		s.out[u][slot] = words[:0]
+	}
+	return buf
+}
+
+// testForceWorkers, when positive, overrides barrier-merge worker selection
+// so tests can drive the parallel delivery paths on single-CPU hosts.
+var testForceWorkers int
+
+// deliveryWorkers picks how many goroutines a barrier merge over n nodes is
+// worth: merges are cheap per node, so each worker should own a sizable
+// chunk before parallelism pays for itself.
+func deliveryWorkers(n int) int {
+	if testForceWorkers > 0 {
+		return testForceWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if byChunk := n / 32; byChunk < w {
+		w = byChunk
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn over contiguous chunks of [0, n) on up to `workers`
+// goroutines; workers ≤ 1 runs inline.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -41,6 +41,11 @@ type Params struct {
 	// explicit threshold to exercise the heavy/light machinery (DESIGN.md
 	// substitution 3).
 	ClusterThreshold int
+	// Workers bounds the host goroutines simulating parallel per-cluster
+	// phases (threaded through to ARB-LIST). 0 means GOMAXPROCS, 1 forces
+	// the sequential loop; the output and the charged bill are identical
+	// for every value.
+	Workers int
 }
 
 func (p Params) finalExponent() float64 {
@@ -114,6 +119,7 @@ func ListCliques(g *graph.Graph, prm Params, cm congest.CostModel, ledger *conge
 			Seed:              prm.Seed + int64(iter)*7_777_777,
 			Paranoid:          prm.Paranoid,
 			PaperBadThreshold: prm.PaperBadThreshold,
+			Workers:           prm.Workers,
 		}, cm, ledger)
 		if err != nil {
 			return nil, fmt.Errorf("core: outer iteration %d: %w", iter, err)

@@ -121,8 +121,14 @@ func TestEmptyAndErrorCases(t *testing.T) {
 }
 
 func TestCompleteGraphAllP(t *testing.T) {
+	// K_30 at p=6,7 enumerates millions of cliques and dominates the
+	// package's wall-clock; short mode keeps the p=4,5 coverage.
 	g := graph.Complete(30)
-	for p := 4; p <= 7; p++ {
+	maxP := 7
+	if testing.Short() {
+		maxP = 5
+	}
+	for p := 4; p <= maxP; p++ {
 		runExact(t, g, Params{P: p, Seed: int64(p)})
 	}
 }

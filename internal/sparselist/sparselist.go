@@ -19,7 +19,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"kplist/internal/congest"
 	"kplist/internal/graph"
@@ -42,6 +45,19 @@ type Input struct {
 	Orient *graph.Orientation
 	// Seed drives the random partition.
 	Seed int64
+	// Workers bounds the host goroutines the local listing step spreads
+	// over (the paper's listing nodes work in parallel). 0 means
+	// GOMAXPROCS, 1 forces the sequential loop; the output and the bill
+	// are identical for every value.
+	Workers int
+}
+
+// workers resolves the host parallelism of the listing step.
+func (in Input) workers() int {
+	if in.Workers > 0 {
+		return in.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result carries the listed cliques and the load statistics the cost model
@@ -109,7 +125,7 @@ func CongestedClique(in Input, padToLemma27 bool, cm congest.CostModel, ledger *
 				owner = e.U
 			}
 			return int32(owner)
-		})
+		}, in.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -172,9 +188,11 @@ func InCluster(rt *routing.Router, rs *routing.Responsibility, in Input, cm cong
 	}
 	all.Normalize()
 
+	// InCluster is itself invoked from per-cluster workers (ARB-LIST fans
+	// out across clusters), so its listing step stays single-threaded.
 	res, err := runListing(in.P, all, nil, part, asg, func(e graph.Edge) int32 {
 		return ownerOf[e.Canon()]
-	})
+	}, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -187,9 +205,11 @@ func InCluster(rt *routing.Router, rs *routing.Responsibility, in Input, cm cong
 
 // runListing performs the shared delivery accounting and local listing.
 // realEdges are listed; fakeEdges only contribute to loads. hostOf returns
-// the listing-node ID (in [k]) hosting each edge.
+// the listing-node ID (in [k]) hosting each edge. workers bounds the host
+// goroutines used for the local listing step (1 = fully sequential; the
+// output is identical for every value).
 func runListing(p int, realEdges, fakeEdges graph.EdgeList,
-	part *partition.Partition, asg *partition.Assignment, hostOf func(graph.Edge) int32) (*Result, error) {
+	part *partition.Partition, asg *partition.Assignment, hostOf func(graph.Edge) int32, workers int) (*Result, error) {
 	k := asg.K
 	t := asg.T
 	sent := make([]int64, k)
@@ -242,22 +262,29 @@ func runListing(p int, realEdges, fakeEdges graph.EdgeList,
 	// Local listing: nodes with the same part multiset see the same edges,
 	// so we list once per distinct multiset (outputs are identical to
 	// every node listing independently; the bill above already reflects
-	// the full redundant delivery).
-	cliques := make(graph.CliqueSet)
+	// the full redundant delivery). In the paper the listing nodes work in
+	// parallel; the simulation spreads the distinct multisets across host
+	// goroutines the same way — each lists into a private set, merged in
+	// multiset order, so the output is identical at any worker count.
 	seenMultiset := make(map[string]bool)
 	total := partition.TupleCount(t, p)
+	var distinct []int
 	for id := 0; id < total; id++ {
-		tup := asg.Tuples[id]
-		key := multisetKey(tup)
+		key := multisetKey(asg.Tuples[id])
 		if seenMultiset[key] {
 			continue
 		}
 		seenMultiset[key] = true
+		distinct = append(distinct, id)
+	}
+	perTuple := make([]graph.CliqueSet, len(distinct))
+	listTuple := func(j int) {
+		tup := asg.Tuples[distinct[j]]
 		var local []graph.Edge
 		seenPair := make(map[int]bool, p*p)
 		for i := 0; i < p; i++ {
-			for j := i; j < p; j++ {
-				pi := partition.PairIndex(int(tup[i]), int(tup[j]), t)
+			for jj := i; jj < p; jj++ {
+				pi := partition.PairIndex(int(tup[i]), int(tup[jj]), t)
 				if seenPair[pi] {
 					continue
 				}
@@ -265,10 +292,42 @@ func runListing(p int, realEdges, fakeEdges graph.EdgeList,
 				local = append(local, edgesByPair[pi]...)
 			}
 		}
-		ll := graph.NewLocalLister(local)
-		ll.VisitCliques(p, func(c graph.Clique) {
-			cliques.Add(c)
+		out := make(graph.CliqueSet)
+		graph.NewLocalLister(local).VisitCliques(p, func(c graph.Clique) {
+			out.Add(c)
 		})
+		perTuple[j] = out
+	}
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	if workers <= 1 {
+		for j := range distinct {
+			listTuple(j)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(distinct) {
+						return
+					}
+					listTuple(j)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	cliques := make(graph.CliqueSet)
+	for _, out := range perTuple {
+		for key := range out {
+			cliques[key] = struct{}{}
+		}
 	}
 	return &Result{
 		Cliques:       cliques,
@@ -317,9 +376,10 @@ func padFakeEdges(n, p int, edges graph.EdgeList, rng *rand.Rand) graph.EdgeList
 
 // CongestedCliqueOnGraph is a convenience wrapper: list all Kp of g in the
 // congested clique model, verifying nothing is fabricated (every returned
-// clique is checked against g).
-func CongestedCliqueOnGraph(g *graph.Graph, p int, seed int64, cm congest.CostModel, ledger *congest.Ledger) (*Result, error) {
-	in := Input{N: g.N(), P: p, Edges: graph.NewEdgeList(g.Edges()), Seed: seed}
+// clique is checked against g). workers follows Input.Workers semantics
+// (0 = GOMAXPROCS; identical output for every value).
+func CongestedCliqueOnGraph(g *graph.Graph, p int, seed int64, workers int, cm congest.CostModel, ledger *congest.Ledger) (*Result, error) {
+	in := Input{N: g.N(), P: p, Edges: graph.NewEdgeList(g.Edges()), Seed: seed, Workers: workers}
 	res, err := CongestedClique(in, false, cm, ledger)
 	if err != nil {
 		return nil, err

@@ -26,7 +26,7 @@ func TestCongestedCliqueMatchesGroundTruth(t *testing.T) {
 	} {
 		g := graph.ErdosRenyi(tc.n, tc.dens, rng)
 		var ledger congest.Ledger
-		res, err := CongestedCliqueOnGraph(g, tc.p, 42, congest.UnitCosts(), &ledger)
+		res, err := CongestedCliqueOnGraph(g, tc.p, 42, 0, congest.UnitCosts(), &ledger)
 		if err != nil {
 			t.Fatalf("n=%d p=%d: %v", tc.n, tc.p, err)
 		}
@@ -46,7 +46,7 @@ func TestCongestedCliquePlantedCliques(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g, planted := graph.PlantedCliques(120, 6, 3, 0.03, rng)
 	var ledger congest.Ledger
-	res, err := CongestedCliqueOnGraph(g, 6, 7, congest.UnitCosts(), &ledger)
+	res, err := CongestedCliqueOnGraph(g, 6, 7, 0, congest.UnitCosts(), &ledger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestCongestedCliquePlantedCliques(t *testing.T) {
 func TestCongestedCliqueEmptyAndTiny(t *testing.T) {
 	var ledger congest.Ledger
 	g := graph.MustNew(5, nil)
-	res, err := CongestedCliqueOnGraph(g, 3, 1, congest.UnitCosts(), &ledger)
+	res, err := CongestedCliqueOnGraph(g, 3, 1, 0, congest.UnitCosts(), &ledger)
 	if err != nil {
 		t.Fatalf("empty graph: %v", err)
 	}
@@ -84,7 +84,7 @@ func TestTheorem13RoundShape(t *testing.T) {
 	roundsAt := func(m int) int64 {
 		g := graph.GNM(n, m, rng)
 		var ledger congest.Ledger
-		_, err := CongestedCliqueOnGraph(g, p, 5, congest.UnitCosts(), &ledger)
+		_, err := CongestedCliqueOnGraph(g, p, 5, 0, congest.UnitCosts(), &ledger)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func TestQuickCongestedCliqueExact(t *testing.T) {
 		p := 3 + int(pRaw%3)
 		g := graph.ErdosRenyi(40, 0.15+float64(densRaw%100)/300.0, rng)
 		var ledger congest.Ledger
-		res, err := CongestedCliqueOnGraph(g, p, seed, congest.UnitCosts(), &ledger)
+		res, err := CongestedCliqueOnGraph(g, p, seed, 0, congest.UnitCosts(), &ledger)
 		if err != nil {
 			return false
 		}
@@ -228,7 +228,7 @@ func TestResultLoadStatsPopulated(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := graph.ErdosRenyi(80, 0.3, rng)
 	var ledger congest.Ledger
-	res, err := CongestedCliqueOnGraph(g, 4, 3, congest.UnitCosts(), &ledger)
+	res, err := CongestedCliqueOnGraph(g, 4, 3, 0, congest.UnitCosts(), &ledger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestCongestedCliqueDeterministic(t *testing.T) {
 	g := graph.ErdosRenyi(70, 0.3, rng)
 	run := func() (int64, int) {
 		var ledger congest.Ledger
-		res, err := CongestedCliqueOnGraph(g, 4, 99, congest.UnitCosts(), &ledger)
+		res, err := CongestedCliqueOnGraph(g, 4, 99, 0, congest.UnitCosts(), &ledger)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -93,6 +93,11 @@ type Options struct {
 	// FinalExponent overrides the outer loop's stopping exponent
 	// (default max(3/4, p/(p+2)), or 2/3 under FastK4).
 	FinalExponent float64
+	// Workers bounds the host goroutines used to simulate phases the
+	// paper runs in parallel (per-cluster work, listing nodes). 0 means
+	// GOMAXPROCS, 1 forces sequential simulation; results and round
+	// bills are identical for every value — only wall-clock changes.
+	Workers int
 }
 
 func (o Options) costModel() congest.CostModel {
@@ -144,6 +149,7 @@ func ListCONGEST(g *Graph, p int, opt Options) (*Result, error) {
 		Seed:          opt.Seed,
 		Paranoid:      opt.Paranoid,
 		FinalExponent: opt.FinalExponent,
+		Workers:       opt.Workers,
 	}, opt.costModel(), &ledger)
 	if err != nil {
 		return nil, err
@@ -159,7 +165,7 @@ func ListCONGEST(g *Graph, p int, opt Options) (*Result, error) {
 // rounds, for every p ≥ 3.
 func ListCongestedClique(g *Graph, p int, opt Options) (*Result, error) {
 	var ledger congest.Ledger
-	res, err := sparselist.CongestedCliqueOnGraph(g, p, opt.Seed, opt.costModel(), &ledger)
+	res, err := sparselist.CongestedCliqueOnGraph(g, p, opt.Seed, opt.Workers, opt.costModel(), &ledger)
 	if err != nil {
 		return nil, err
 	}
