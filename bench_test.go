@@ -19,6 +19,7 @@ import (
 	"kplist/internal/expander"
 	"kplist/internal/graph"
 	"kplist/internal/sparselist"
+	"kplist/internal/workload"
 )
 
 // benchGraphCONGEST is the community workload at a representative size.
@@ -54,6 +55,9 @@ func BenchmarkE1_Thm11_KpCongest(b *testing.B) {
 	g, thr := benchGraphCONGEST()
 	for _, p := range []int{4, 5, 6} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			if testing.Short() && p > 5 {
+				b.Skip("skipping the largest clique size in -short mode")
+			}
 			var rounds int64
 			for i := 0; i < b.N; i++ {
 				var ledger congest.Ledger
@@ -103,6 +107,9 @@ func BenchmarkE3_Thm13_CongestedClique(b *testing.B) {
 		m int
 	}{{3, 2000}, {3, 16000}, {4, 2000}, {4, 8000}, {5, 2000}} {
 		b.Run(fmt.Sprintf("p=%d/m=%d", tc.p, tc.m), func(b *testing.B) {
+			if testing.Short() && tc.m > 8000 {
+				b.Skip("skipping the densest sweep point in -short mode")
+			}
 			g := graph.GNM(n, tc.m, rand.New(rand.NewSource(3)))
 			var rounds int64
 			for i := 0; i < b.N; i++ {
@@ -168,6 +175,9 @@ func BenchmarkE5_LowerBoundGap(b *testing.B) {
 	n := float64(g.N())
 	for _, p := range []int{4, 6} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			if testing.Short() && p > 4 {
+				b.Skip("skipping the largest clique size in -short mode")
+			}
 			var gap float64
 			for i := 0; i < b.N; i++ {
 				var ledger congest.Ledger
@@ -226,6 +236,49 @@ func BenchmarkE7_Ablations(b *testing.B) {
 			b.ReportMetric(float64(maxLearned), "max-learned")
 		})
 	}
+}
+
+// BenchmarkWorkloadGenerate pins the generator subsystem's throughput per
+// family at a representative size.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	for _, family := range workload.Families() {
+		b.Run(family, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := workload.Generate(workload.DefaultSpec(family, 512, int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionServe pins the Session serving path: "miss" pays one full
+// listing execution per iteration (fresh seed defeats the cache), "hit"
+// measures the cached fast path a warm serving tier actually runs.
+func BenchmarkSessionServe(b *testing.B) {
+	inst := workload.MustGenerate(workload.DefaultSpec(workload.FamilyPlantedClique, 192, 1))
+	b.Run("miss", func(b *testing.B) {
+		s := NewSession(inst.G, SessionConfig{})
+		defer s.Close()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(Query{P: 4, Algo: AlgoCongestedClique, Seed: int64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		s := NewSession(inst.G, SessionConfig{})
+		defer s.Close()
+		if _, err := s.Query(Query{P: 4, Algo: AlgoCongestedClique}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(Query{P: 4, Algo: AlgoCongestedClique}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSubstrates pins the hot substrate paths so regressions in the

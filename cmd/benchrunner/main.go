@@ -28,7 +28,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated experiments to run (e1..e7); empty = all")
+		only    = fs.String("only", "", "comma-separated experiments to run (e1..e10); empty = all")
 		quick   = fs.Bool("quick", false, "small sizes for a fast smoke run")
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
@@ -51,6 +51,7 @@ func run(args []string, w io.Writer) error {
 		cfg.EdgeCounts = []int{250, 500, 1000, 2000, 4000}
 		cfg.CCN = 128
 		cfg.Ps = []int{4, 5}
+		cfg.WorkloadSizes = []int{96, 128, 192}
 		ablN, ccN = 96, 100
 	}
 
@@ -67,6 +68,21 @@ func run(args []string, w io.Writer) error {
 		{"e6", func() ([]bench.Series, error) { return bench.E6IterativeDecay(ablN, 0.4, *seed, *workers) }},
 		{"e7", func() ([]bench.Series, error) { return bench.E7Ablations(ablN, 0.4, *seed, *workers) }},
 		{"e8", func() ([]bench.Series, error) { return bench.E8CountingVsListing(ccN, *seed, *workers) }},
+		{"e9", func() ([]bench.Series, error) { return bench.E9WorkloadFamilies(cfg) }},
+		{"e10", func() ([]bench.Series, error) { return bench.E10SessionAmortization(cfg) }},
+	}
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.tag] = true
+	}
+	for tag := range want {
+		if !known[tag] {
+			tags := make([]string, 0, len(runners))
+			for _, r := range runners {
+				tags = append(tags, r.tag)
+			}
+			return fmt.Errorf("unknown experiment %q (known: %s)", tag, strings.Join(tags, ", "))
+		}
 	}
 	for _, r := range runners {
 		if !enabled(r.tag) {

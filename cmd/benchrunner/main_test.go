@@ -1,9 +1,14 @@
 package main
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
 
 func TestRunSelectedExperiments(t *testing.T) {
 	var sb strings.Builder
@@ -40,12 +45,55 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
-func TestRunUnknownTagIsNoop(t *testing.T) {
+func TestRunUnknownExperimentErrors(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{"-only", "e99"}, &sb); err != nil {
+	err := run([]string{"-only", "e99"}, &sb)
+	if err == nil {
+		t.Fatal("unknown experiment name should error")
+	}
+	if !strings.Contains(err.Error(), "e99") || !strings.Contains(err.Error(), "e9") {
+		t.Errorf("error should name the bad tag and list known ones: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("unknown tag must not produce output:\n%s", sb.String())
+	}
+	// The error fires even when valid tags accompany the bad one.
+	if err := run([]string{"-only", "e6,nope"}, &sb); err == nil {
+		t.Error("mixed valid/unknown tags should error")
+	}
+}
+
+// TestWorkloadExperimentsGolden pins the full -quick output of the
+// workload-family experiments (E9/E10). Everything they print is
+// deterministic under the default seed; regenerate with
+// `go test ./cmd/benchrunner -run Golden -update` after intentional
+// changes to the generators, the lister bills, or the table format.
+func TestWorkloadExperimentsGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "e9,e10"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if strings.Contains(sb.String(), "====") {
-		t.Error("unknown tag should run nothing")
+	got := sb.String()
+	for _, want := range []string{"==== E9 ====", "==== E10 ===="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %s header:\n%s", want, got)
+		}
+	}
+	golden := filepath.Join("testdata", "workloads_quick.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
 	}
 }

@@ -1,0 +1,179 @@
+package kplist_test
+
+// The differential test harness: every workload generator family runs
+// through every listing algorithm and is compared against the sequential
+// baseline (GroundTruth). Randomized sizes and seeds; -short trims the
+// trial count, not the family × algorithm coverage.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kplist"
+	"kplist/internal/workload"
+)
+
+// differentialAlgos is every public listing engine with its p-domain.
+var differentialAlgos = []struct {
+	algo kplist.Algorithm
+	minP int
+	maxP int
+}{
+	{kplist.AlgoCongestedClique, 3, 5},
+	{kplist.AlgoBroadcast, 3, 5},
+	{kplist.AlgoCONGEST, 4, 5},
+	{kplist.AlgoFastK4, 4, 4},
+}
+
+func TestDifferentialFamiliesTimesAlgorithms(t *testing.T) {
+	trials := 3
+	if testing.Short() {
+		trials = 1
+	}
+	rng := rand.New(rand.NewSource(20260728))
+	for _, family := range workload.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				n := 40 + rng.Intn(60)
+				seed := rng.Int63n(1 << 30)
+				spec := workload.DefaultSpec(family, n, seed)
+				if family == workload.FamilyPlantedClique {
+					// Vary the planted shape too: k in 4..6, as many as fit.
+					spec.CliqueSize = 4 + rng.Intn(3)
+					spec.CliqueCount = 1 + rng.Intn(2)
+				}
+				inst, err := workload.Generate(spec)
+				if err != nil {
+					t.Fatalf("generate %+v: %v", spec, err)
+				}
+				if err := inst.Check(); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				runDifferential(t, inst)
+			}
+		})
+	}
+}
+
+func runDifferential(t *testing.T, inst *workload.Instance) {
+	t.Helper()
+	g := inst.G
+	for _, a := range differentialAlgos {
+		for p := a.minP; p <= a.maxP; p++ {
+			res, err := runAlgo(g, a.algo, p, inst.Spec.Seed)
+			if err != nil {
+				t.Errorf("%s n=%d seed=%d %s p=%d: %v",
+					inst.Spec.Family, g.N(), inst.Spec.Seed, a.algo, p, err)
+				continue
+			}
+			// Exact agreement with the sequential baseline.
+			if err := kplist.Verify(g, p, res.Cliques); err != nil {
+				t.Errorf("%s n=%d seed=%d %s p=%d: differential mismatch: %v",
+					inst.Spec.Family, g.N(), inst.Spec.Seed, a.algo, p, err)
+			}
+			// Recall: planted cliques of exactly size p must all be listed.
+			listed := map[string]bool{}
+			for _, c := range res.Cliques {
+				listed[fmt.Sprint(c)] = true
+			}
+			for _, c := range inst.Props.Planted {
+				if len(c) == p && !listed[fmt.Sprint(kplist.Clique(c))] {
+					t.Errorf("%s %s p=%d: planted clique %v not listed",
+						inst.Spec.Family, a.algo, p, c)
+				}
+			}
+			// Structural guarantees transfer to outputs.
+			if inst.Props.TriangleFree && len(res.Cliques) != 0 {
+				t.Errorf("%s %s p=%d: triangle-free family listed %d cliques",
+					inst.Spec.Family, a.algo, p, len(res.Cliques))
+			}
+			if b := inst.Props.DegeneracyBound; b > 0 && p > b+1 && len(res.Cliques) != 0 {
+				t.Errorf("%s %s p=%d: degeneracy ≤ %d forbids Kp, listed %d",
+					inst.Spec.Family, a.algo, p, b, len(res.Cliques))
+			}
+		}
+	}
+}
+
+func runAlgo(g *kplist.Graph, algo kplist.Algorithm, p int, seed int64) (*kplist.Result, error) {
+	opt := kplist.Options{Seed: seed}
+	switch algo {
+	case kplist.AlgoCONGEST:
+		return kplist.ListCONGEST(g, p, opt)
+	case kplist.AlgoFastK4:
+		opt.FastK4 = true
+		return kplist.ListCONGEST(g, p, opt)
+	case kplist.AlgoCongestedClique:
+		return kplist.ListCongestedClique(g, p, opt)
+	case kplist.AlgoBroadcast:
+		return kplist.ListBroadcast(g, p, opt)
+	}
+	return nil, fmt.Errorf("unknown algo %q", algo)
+}
+
+// TestDifferentialPlantedAlwaysFound plants cliques across several shapes
+// and asserts perfect recall on every engine that lists that p.
+func TestDifferentialPlantedAlwaysFound(t *testing.T) {
+	shapes := []struct{ n, k, count int }{
+		{60, 4, 3},
+		{80, 5, 2},
+		{100, 6, 1},
+	}
+	if testing.Short() {
+		shapes = shapes[:1]
+	}
+	for _, sh := range shapes {
+		spec := workload.DefaultSpec(workload.FamilyPlantedClique, sh.n, int64(sh.n))
+		spec.CliqueSize = sh.k
+		spec.CliqueCount = sh.count
+		spec.Background = 0.08
+		inst, err := workload.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range differentialAlgos {
+			if sh.k < a.minP || sh.k > a.maxP {
+				continue
+			}
+			res, err := runAlgo(inst.G, a.algo, sh.k, spec.Seed)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", a.algo, sh.k, err)
+			}
+			listed := map[string]bool{}
+			for _, c := range res.Cliques {
+				listed[fmt.Sprint(c)] = true
+			}
+			for _, c := range inst.Props.Planted {
+				if !listed[fmt.Sprint(kplist.Clique(c))] {
+					t.Errorf("%s n=%d k=%d: planted %v missing", a.algo, sh.n, sh.k, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialViaSession reruns one differential sweep through the
+// Session batch API with Verify on: the serving path must be exactly as
+// correct as the direct calls, and the batch must coalesce duplicates.
+func TestDifferentialViaSession(t *testing.T) {
+	inst := workload.MustGenerate(workload.DefaultSpec(workload.FamilyStochasticBlock, 72, 5))
+	s := kplist.NewSession(inst.G, kplist.SessionConfig{Verify: true, MaxConcurrent: 4})
+	defer s.Close()
+	var qs []kplist.Query
+	for _, a := range differentialAlgos {
+		for p := a.minP; p <= a.maxP; p++ {
+			qs = append(qs, kplist.Query{P: p, Algo: a.algo}, kplist.Query{P: p, Algo: a.algo})
+		}
+	}
+	for _, br := range s.QueryBatch(qs) {
+		if br.Err != nil {
+			t.Fatalf("%+v: %v", br.Query, br.Err)
+		}
+	}
+	st := s.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Hits+st.Misses != int64(len(qs)) {
+		t.Errorf("batch should both execute and coalesce: %+v", st)
+	}
+}

@@ -71,6 +71,48 @@ func ExampleDetectCONGEST() {
 	// found: true witnesses: 1
 }
 
+func ExampleSession() {
+	// Generate a workload with two planted K5s, then serve a batch of
+	// queries through one session: the second {P: 5} is a cache hit.
+	spec := kplist.DefaultWorkloadSpec(kplist.WorkloadPlantedClique, 120, 7)
+	spec.CliqueSize = 5
+	spec.CliqueCount = 2
+	inst, err := kplist.GenerateWorkload(spec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s := kplist.NewSession(inst.G, kplist.SessionConfig{MaxConcurrent: 2, Verify: true})
+	defer s.Close()
+	for _, br := range s.QueryBatch([]kplist.Query{{P: 5}, {P: 4}, {P: 5}}) {
+		if br.Err != nil {
+			fmt.Println(br.Err)
+			return
+		}
+	}
+	res, _ := s.Query(kplist.Query{P: 5}) // cached
+	st := s.Stats()
+	fmt.Println("K5s:", len(res.Cliques), "executions:", st.Misses, "hits:", st.Hits)
+	// Output:
+	// K5s: 2 executions: 2 hits: 2
+}
+
+func ExampleGenerateWorkload() {
+	// A plain grid is triangle-free with degeneracy ≤ 2 — guaranteed by
+	// the family, verified by Check.
+	inst, err := kplist.GenerateWorkload(
+		kplist.DefaultWorkloadSpec(kplist.WorkloadGrid, 25, 1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("check:", inst.Check() == nil,
+		"triangle-free:", inst.Props.TriangleFree,
+		"degeneracy bound:", inst.Props.DegeneracyBound)
+	// Output:
+	// check: true triangle-free: true degeneracy bound: 2
+}
+
 func ExampleCountTrianglesCC() {
 	g := kplist.Complete(10)
 	count, _, err := kplist.CountTrianglesCC(g, kplist.Options{})

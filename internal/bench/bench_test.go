@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"kplist/internal/workload"
 )
 
 func TestFitExponentExact(t *testing.T) {
@@ -54,20 +56,31 @@ func TestTableRendering(t *testing.T) {
 
 // The E-runner smoke tests use tiny sizes: they verify the runners work
 // end-to-end and produce plausible structure; the real sweeps live in
-// cmd/benchrunner and the root bench_test.go.
+// cmd/benchrunner and the root bench_test.go. Under -short the largest
+// series point and the repeat-averaging are dropped so the whole package
+// stays in CI's minute budget.
 func tinyConfig() Config {
-	return Config{
-		Sizes:      []int{256, 384, 512},
-		Density:    0.35,
-		EdgeCounts: []int{200, 800, 2000},
-		CCN:        96,
-		Ps:         []int{4, 5},
-		Seed:       7,
+	cfg := Config{
+		Sizes:         []int{256, 384, 512},
+		Density:       0.35,
+		EdgeCounts:    []int{200, 800, 2000},
+		CCN:           96,
+		Ps:            []int{4, 5},
+		Seed:          7,
+		WorkloadSizes: []int{64, 96, 128},
 	}
+	if testing.Short() {
+		cfg.Sizes = cfg.Sizes[:2]
+		cfg.EdgeCounts = cfg.EdgeCounts[:2]
+		cfg.WorkloadSizes = cfg.WorkloadSizes[:2]
+		cfg.Repeats = 1
+	}
+	return cfg
 }
 
 func TestE1Smoke(t *testing.T) {
-	series, err := E1Theorem11(tinyConfig())
+	cfg := tinyConfig()
+	series, err := E1Theorem11(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +88,7 @@ func TestE1Smoke(t *testing.T) {
 		t.Fatalf("want 2 series (p=4,5), got %d", len(series))
 	}
 	for _, s := range series {
-		if len(s.Points) != 3 {
+		if len(s.Points) != len(cfg.Sizes) {
 			t.Errorf("%s: %d points", s.Name, len(s.Points))
 		}
 		for _, p := range s.Points {
@@ -187,6 +200,49 @@ func TestE7Smoke(t *testing.T) {
 	for _, p := range sweep.Points {
 		if p.Meta["heavy"]+p.Meta["light"] == 0 {
 			t.Errorf("threshold %v classified nobody", p.X)
+		}
+	}
+}
+
+func TestE9WorkloadFamiliesSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	series, err := E9WorkloadFamilies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(workload.Families()) {
+		t.Fatalf("want one series per family, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != len(cfg.workloadSizes()) {
+			t.Errorf("%s: %d points, want %d", s.Name, len(s.Points), len(cfg.workloadSizes()))
+		}
+		for _, p := range s.Points {
+			for _, key := range []string{"degeneracy", "m", "cliques"} {
+				if _, ok := p.Meta[key]; !ok {
+					t.Errorf("%s: missing census metadata %q at n=%v", s.Name, key, p.X)
+				}
+			}
+		}
+	}
+}
+
+func TestE10SessionAmortizationSmoke(t *testing.T) {
+	series, err := E10SessionAmortization(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("want one amortization series, got %d", len(series))
+	}
+	for _, p := range series[0].Points {
+		// Every repeated wave beyond the first must be a cache hit, so the
+		// amortization factor equals the wave count.
+		if p.Meta["amortization"] < 2 {
+			t.Errorf("n=%v: amortization %.2f < 2 — cache not engaging", p.X, p.Meta["amortization"])
+		}
+		if p.Meta["hits"] == 0 {
+			t.Errorf("n=%v: no cache hits recorded", p.X)
 		}
 	}
 }

@@ -43,6 +43,10 @@ type Config struct {
 	// GOMAXPROCS; the measured round bills are identical for every value —
 	// only wall-clock changes.
 	Workers int
+	// WorkloadSizes is the n sweep for the E9/E10 workload-family
+	// experiments; empty uses a default ladder that keeps the dense
+	// families within the exact-listing budget.
+	WorkloadSizes []int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"kplist"
+	"kplist/internal/workload"
+)
+
+// E9 and E10 exercise the workload-generator subsystem and the Session
+// serving path (DESIGN.md §6): E9 sweeps every generator family through
+// the sparsity-aware congested-clique lister, E10 measures how much of a
+// mixed query batch the Session cache absorbs. Both are deterministic
+// under cfg.Seed, so cmd/benchrunner pins them with a golden-output test.
+
+// workloadSizes returns the n-ladder for the family sweeps: the config's
+// WorkloadSizes if set, else a default that keeps the dense families
+// (stochastic-block) within the exact-listing budget.
+func (c Config) workloadSizes() []int {
+	if len(c.WorkloadSizes) != 0 {
+		return c.WorkloadSizes
+	}
+	return []int{256, 512, 768}
+}
+
+// E9WorkloadFamilies generates every registered workload family across the
+// size ladder and runs the Theorem 1.3 congested-clique lister at p = 4 on
+// each instance, reporting the round bill together with the structural
+// census (edges, degeneracy, cliques listed). Planted-clique instances are
+// additionally checked for perfect recall — a failed recall is an error,
+// not a data point.
+func E9WorkloadFamilies(cfg Config) ([]Series, error) {
+	cfg = cfg.withDefaults()
+	const p = 4
+	var out []Series
+	for _, family := range workload.Families() {
+		s := Series{
+			Name:   fmt.Sprintf("E9: workload family %q — congested-clique lister rounds vs n (p=%d)", family, p),
+			XLabel: "n",
+		}
+		for _, n := range cfg.workloadSizes() {
+			spec := workload.DefaultSpec(family, n, cfg.Seed)
+			if family == workload.FamilyPlantedClique {
+				// Plant cliques of exactly the probed size so the recall
+				// check below is live, not vacuous.
+				spec.CliqueSize = p
+			}
+			inst, err := workload.Generate(spec)
+			if err != nil {
+				return nil, fmt.Errorf("E9 %s n=%d: %w", family, n, err)
+			}
+			res, err := kplist.ListCongestedClique(inst.G, p, kplist.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("E9 %s n=%d: %w", family, n, err)
+			}
+			if err := recallPlanted(inst, p, res.Cliques); err != nil {
+				return nil, fmt.Errorf("E9 %s n=%d: %w", family, n, err)
+			}
+			s.Points = append(s.Points, Point{
+				X:        float64(n),
+				Rounds:   res.Rounds,
+				Messages: res.Messages,
+				Meta: map[string]float64{
+					"m":          float64(inst.G.M()),
+					"degeneracy": float64(inst.G.Degeneracy().Degeneracy),
+					"cliques":    float64(len(res.Cliques)),
+				},
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func recallPlanted(inst *workload.Instance, p int, cliques []kplist.Clique) error {
+	if len(inst.Props.Planted) == 0 || len(inst.Props.Planted[0]) != p {
+		return nil
+	}
+	listed := map[string]bool{}
+	for _, c := range cliques {
+		listed[fmt.Sprint(c)] = true
+	}
+	for _, c := range inst.Props.Planted {
+		if !listed[fmt.Sprint(kplist.Clique(c))] {
+			return fmt.Errorf("planted clique %v not listed", c)
+		}
+	}
+	return nil
+}
+
+// E10SessionAmortization opens one Session per workload size on the
+// planted-clique family (with CliqueSize 4 so recall is measurable) and
+// serves a mixed batch in which each distinct query repeats `waves` times.
+// The series reports the rounds actually executed (the cache-miss bill)
+// against the rounds that would have been billed without the session
+// cache; their ratio is the amortization factor. Everything reported is
+// deterministic under cfg.Seed — wall-clock never enters the table.
+func E10SessionAmortization(cfg Config) ([]Series, error) {
+	cfg = cfg.withDefaults()
+	const waves = 8
+	s := Series{
+		Name:   fmt.Sprintf("E10: Session amortization on planted-clique workload (×%d repeated mixed queries)", waves),
+		XLabel: "n",
+	}
+	for _, n := range cfg.workloadSizes() {
+		spec := workload.DefaultSpec(workload.FamilyPlantedClique, n, cfg.Seed)
+		spec.CliqueSize = 4
+		inst, err := workload.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("E10 n=%d: %w", n, err)
+		}
+		sess := kplist.NewSession(inst.G, kplist.SessionConfig{MaxConcurrent: maxI(cfg.Workers, 1)})
+		distinct := []kplist.Query{
+			{P: 3, Algo: kplist.AlgoCongestedClique, Seed: cfg.Seed},
+			{P: 4, Algo: kplist.AlgoCongestedClique, Seed: cfg.Seed},
+			{P: 5, Algo: kplist.AlgoCongestedClique, Seed: cfg.Seed},
+			{P: 4, Algo: kplist.AlgoCONGEST, Seed: cfg.Seed, Workers: cfg.Workers},
+			{P: 4, Algo: kplist.AlgoFastK4, Seed: cfg.Seed, Workers: cfg.Workers},
+		}
+		var qs []kplist.Query
+		for w := 0; w < waves; w++ {
+			qs = append(qs, distinct...)
+		}
+		var servedRounds int64
+		for _, br := range sess.QueryBatch(qs) {
+			if br.Err != nil {
+				sess.Close()
+				return nil, fmt.Errorf("E10 n=%d %+v: %w", n, br.Query, br.Err)
+			}
+			servedRounds += br.Result.Rounds
+		}
+		// The cache-miss bill: each distinct query executed exactly once,
+		// so re-querying the distinct set sums the executed work.
+		var executedRounds, executedMsgs int64
+		for _, q := range distinct {
+			res, err := sess.Query(q)
+			if err != nil {
+				sess.Close()
+				return nil, fmt.Errorf("E10 n=%d %+v: %w", n, q, err)
+			}
+			executedRounds += res.Rounds
+			executedMsgs += res.Messages
+		}
+		st := sess.Stats()
+		sess.Close()
+		if int(st.Misses) != len(distinct) {
+			return nil, fmt.Errorf("E10 n=%d: %d executions for %d distinct queries", n, st.Misses, len(distinct))
+		}
+		s.Points = append(s.Points, Point{
+			X:        float64(n),
+			Rounds:   executedRounds,
+			Messages: executedMsgs,
+			Meta: map[string]float64{
+				"queries":      float64(st.Queries),
+				"hits":         float64(st.Hits),
+				"servedRounds": float64(servedRounds),
+				"amortization": float64(servedRounds) / float64(executedRounds),
+			},
+		})
+	}
+	return []Series{s}, nil
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList fuzzes the edge-list text parser: arbitrary input must
+// either parse into a graph whose write/read round-trip is the identity,
+// or fail with an error — never panic.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("", 0)
+	f.Add("", 1)
+	f.Add("# comment only\n", 4)
+	f.Add("0 1\n1 2\n", 3)
+	f.Add("0 1\n0 1\n1 0\n", 2) // duplicate edges, both orders
+	f.Add("0 0\n", 1)           // self-loop
+	f.Add("3 4\n", 2)           // out of range
+	f.Add("a b\n", 2)
+	f.Add("1 2 3\n", 4)
+	f.Add("0 1 # trailing comment\n", 2)
+	f.Add("-1 0\n", 2)
+	f.Add("99999999999999999999 1\n", 2)
+	f.Fuzz(func(t *testing.T, text string, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 512
+		g, err := ReadEdgeList(strings.NewReader(text), n)
+		if err != nil {
+			return
+		}
+		if g.N() != n {
+			t.Fatalf("parsed graph has %d vertices, want %d", g.N(), n)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf, n)
+		if err != nil {
+			t.Fatalf("round-trip parse: %v", err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Fatalf("round trip changed the edge set: %v vs %v", g.Edges(), g2.Edges())
+		}
+	})
+}
+
+// FuzzNewGraph fuzzes graph construction from raw edge bytes, including
+// out-of-range endpoints, self-loops and duplicates: New must error exactly
+// when an endpoint is out of range, and otherwise uphold the adjacency
+// invariants.
+func FuzzNewGraph(f *testing.F) {
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0, 0})       // self-loop on the only vertex
+	f.Add(2, []byte{0, 1, 0, 1}) // duplicate edge
+	f.Add(2, []byte{1, 0, 0, 1}) // duplicate, swapped orientation
+	f.Add(3, []byte{0, 9})       // out of range
+	f.Add(4, []byte{0, 1, 1, 2, 2, 3, 3, 0})
+	f.Fuzz(func(t *testing.T, n int, raw []byte) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 300
+		edges := make([]Edge, 0, len(raw)/2)
+		outOfRange := false
+		for i := 0; i+1 < len(raw); i += 2 {
+			// Spread endpoints beyond [0,n) so the error path is exercised:
+			// raw bytes land in [-2, 253].
+			u, v := V(int(raw[i])-2), V(int(raw[i+1])-2)
+			if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+				outOfRange = true
+			}
+			edges = append(edges, Edge{u, v})
+		}
+		g, err := New(n, edges)
+		if outOfRange {
+			if err == nil {
+				t.Fatal("out-of-range endpoint accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		// Invariants: sorted strictly-increasing adjacency, symmetry,
+		// degree sum = 2m, no self-loops.
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			adj := g.Neighbors(V(v))
+			total += len(adj)
+			for i, u := range adj {
+				if u == V(v) {
+					t.Fatalf("self-loop survived at %d", v)
+				}
+				if i > 0 && adj[i-1] >= u {
+					t.Fatalf("adjacency of %d not strictly sorted: %v", v, adj)
+				}
+				if !g.HasEdge(u, V(v)) || !g.HasEdge(V(v), u) {
+					t.Fatalf("asymmetric edge {%d,%d}", v, u)
+				}
+			}
+		}
+		if total != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m %d", total, 2*g.M())
+		}
+	})
+}

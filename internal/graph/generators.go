@@ -24,7 +24,28 @@ func ErdosRenyi(n int, prob float64, rng *rand.Rand) *Graph {
 	// Batagelj–Brandes: iterate over pair index k in [0, n(n-1)/2),
 	// advancing by geometric skips so the cost is O(m), not O(n^2).
 	total := int64(n) * int64(n-1) / 2
-	logq := math.Log1p(-prob) // < 0
+	Sprinkle(rng, total, prob, func(k int64) {
+		u, v := PairFromIndex(k, n)
+		edges = append(edges, Edge{u, v})
+	})
+	return MustNew(n, edges)
+}
+
+// Sprinkle visits each index in [0,total) independently with probability p,
+// in ascending order, via geometric skips so the cost is proportional to
+// the number of hits — the shared Bernoulli sampler behind every density
+// knob (Erdős–Rényi, bipartite, the workload block models).
+func Sprinkle(rng *rand.Rand, total int64, p float64, emit func(k int64)) {
+	if p <= 0 || total <= 0 {
+		return
+	}
+	if p >= 1 {
+		for k := int64(0); k < total; k++ {
+			emit(k)
+		}
+		return
+	}
+	logq := math.Log1p(-p) // < 0
 	k := int64(-1)
 	for {
 		r := rng.Float64()
@@ -34,17 +55,15 @@ func ErdosRenyi(n int, prob float64, rng *rand.Rand) *Graph {
 		}
 		k += 1 + skip
 		if k >= total {
-			break
+			return
 		}
-		u, v := pairFromIndex(k, n)
-		edges = append(edges, Edge{u, v})
+		emit(k)
 	}
-	return MustNew(n, edges)
 }
 
-// pairFromIndex maps a linear index k in [0, n(n-1)/2) to the k-th pair
+// PairFromIndex maps a linear index k in [0, n(n-1)/2) to the k-th pair
 // (u,v), u<v, in row-major order.
-func pairFromIndex(k int64, n int) (V, V) {
+func PairFromIndex(k int64, n int) (V, V) {
 	// Row u contributes n-1-u pairs. Solve for u.
 	u := int64(0)
 	rem := k
@@ -74,7 +93,7 @@ func GNM(n, m int, rng *rand.Rand) *Graph {
 			continue
 		}
 		seen[k] = struct{}{}
-		u, v := pairFromIndex(k, n)
+		u, v := PairFromIndex(k, n)
 		edges = append(edges, Edge{u, v})
 	}
 	return MustNew(n, edges)
@@ -221,25 +240,13 @@ func RandomRegular(n, d int, rng *rand.Rand) *Graph {
 func RandomBipartite(n int, prob float64, rng *rand.Rand) *Graph {
 	half := n / 2
 	var edges []Edge
-	if prob > 0 && half > 0 {
+	if half > 0 {
 		// Geometric skipping over the half×(n-half) grid.
-		total := int64(half) * int64(n-half)
-		logq := math.Log1p(-prob)
-		k := int64(-1)
-		for {
-			r := rng.Float64()
-			skip := int64(math.Floor(math.Log1p(-r) / logq))
-			if skip < 0 {
-				skip = 0
-			}
-			k += 1 + skip
-			if k >= total {
-				break
-			}
+		Sprinkle(rng, int64(half)*int64(n-half), prob, func(k int64) {
 			u := V(k / int64(n-half))
 			v := V(half) + V(k%int64(n-half))
 			edges = append(edges, Edge{u, v})
-		}
+		})
 	}
 	return MustNew(maxInt(n, 0), edges)
 }

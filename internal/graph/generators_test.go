@@ -55,9 +55,9 @@ func TestPairFromIndexCoversAllPairs(t *testing.T) {
 	seen := make(map[Edge]bool)
 	total := int64(n * (n - 1) / 2)
 	for k := int64(0); k < total; k++ {
-		u, v := pairFromIndex(k, n)
+		u, v := PairFromIndex(k, n)
 		if u >= v || v >= V(n) || u < 0 {
-			t.Fatalf("pairFromIndex(%d) = (%d,%d) invalid", k, u, v)
+			t.Fatalf("PairFromIndex(%d) = (%d,%d) invalid", k, u, v)
 		}
 		e := Edge{u, v}
 		if seen[e] {

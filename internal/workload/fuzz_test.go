@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzGenerate drives the generator registry across fuzzed family/size/
+// seed/knob combinations, covering the corner cases that bite generators:
+// n = 0, n = 1, probabilities 0 and 1, and degenerate knobs. Valid specs
+// must generate deterministically and uphold their advertised properties;
+// invalid specs must error, never panic.
+func FuzzGenerate(f *testing.F) {
+	// One seed per family, plus the corner sizes and probability extremes.
+	for i := range Families() {
+		f.Add(uint8(i), 40, int64(1), 3, 0.1)
+	}
+	f.Add(uint8(0), 0, int64(0), 0, 0.0)  // n = 0
+	f.Add(uint8(1), 1, int64(1), 1, 1.0)  // n = 1, p = 1
+	f.Add(uint8(5), 2, int64(9), 2, -1.0) // p = 0 (negative = explicit zero)
+	f.Add(uint8(6), 64, int64(7), 9, 0.5)
+	// Regression: a fractional negative probability must canonicalize so
+	// that regenerating from the normalized Spec is deterministic.
+	f.Add(uint8(0x13), -79, int64(-50), -50, -0.1875)
+	f.Fuzz(func(t *testing.T, famIdx uint8, n int, seed int64, knob int, prob float64) {
+		fams := Families()
+		family := fams[int(famIdx)%len(fams)]
+		if n < 0 {
+			n = -n
+		}
+		n %= 96 // keep property verification (triangle count, peel) cheap
+		if knob < 0 {
+			knob = -knob
+		}
+		knob %= 8
+		spec := DefaultSpec(family, n, seed)
+		if prob >= -1 && prob <= 1 {
+			// Negative values request an explicit probability 0.
+			spec.Background = prob
+			spec.PIn = prob
+		}
+		if knob > 0 {
+			spec.Attach = knob
+			spec.Degeneracy = knob
+			spec.Blocks = knob
+			spec.CliqueSize = knob + 1
+			spec.CliqueCount = 1
+			spec.EdgeFactor = knob
+		}
+		spec.Diagonal = knob%2 == 1
+		inst, err := Generate(spec)
+		if err != nil {
+			// Errors are legal (e.g. planted cliques that do not fit, NaN
+			// probabilities) — panics are not, and that is the point.
+			return
+		}
+		if inst.G == nil || inst.G.N() != n {
+			t.Fatalf("spec %+v: graph n=%d, want %d", spec, inst.G.N(), n)
+		}
+		if err := inst.Check(); err != nil {
+			t.Fatalf("advertised properties violated: %v", err)
+		}
+		// Determinism: regenerating from the normalized spec must reproduce
+		// the instance bit-for-bit.
+		again := MustGenerate(inst.Spec)
+		if !reflect.DeepEqual(inst.G.Edges(), again.G.Edges()) {
+			t.Fatalf("spec %+v: non-deterministic generation", inst.Spec)
+		}
+	})
+}

@@ -1,0 +1,472 @@
+// Package workload is the scenario-generator subsystem: a registry of
+// seeded graph families beyond G(n,p) — power-law preferential attachment,
+// planted cliques in noise, random bipartite, stochastic block, Kronecker
+// (R-MAT) and bounded-degeneracy/grid — each deterministic under a seed
+// and annotated with the structural properties it guarantees (degeneracy
+// bounds, planted cliques, triangle-freeness). Tests and benchmarks assert
+// against those properties, and the differential harness runs every family
+// through every listing algorithm against the sequential baseline.
+//
+// The families map onto the sparsity regimes the paper's bounds
+// distinguish (DESIGN.md §6): bounded-degeneracy and grid stress the
+// arboricity-halving outer loop with trivially sparse inputs, power-law
+// families give a dense core with a sparse fringe, block and bipartite
+// families give dense pockets with controllable clique populations, and
+// planted cliques pin recall.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"kplist/internal/graph"
+)
+
+// Family names accepted by Generate. Families() returns them in a stable
+// order.
+const (
+	FamilyBarabasiAlbert    = "barabasi-albert"
+	FamilyBipartite         = "bipartite"
+	FamilyBoundedDegeneracy = "bounded-degeneracy"
+	FamilyGrid              = "grid"
+	FamilyKronecker         = "kronecker"
+	FamilyPlantedClique     = "planted-clique"
+	FamilyStochasticBlock   = "stochastic-block"
+)
+
+// Families returns the registered family names in stable (sorted) order.
+func Families() []string {
+	return []string{
+		FamilyBarabasiAlbert,
+		FamilyBipartite,
+		FamilyBoundedDegeneracy,
+		FamilyGrid,
+		FamilyKronecker,
+		FamilyPlantedClique,
+		FamilyStochasticBlock,
+	}
+}
+
+// Spec selects and sizes one workload instance. Zero-valued knobs take the
+// family defaults documented on each field; every generator is a pure
+// function of the Spec (same Spec, same graph).
+type Spec struct {
+	// Family is one of the Family* constants.
+	Family string
+	// N is the number of vertices (the grid family may leave a remainder
+	// of isolated vertices so N is always honored exactly).
+	N int
+	// Seed drives all randomness.
+	Seed int64
+
+	// Attach is the edges each new vertex brings in barabasi-albert
+	// (default 4). It upper-bounds the degeneracy.
+	Attach int
+	// Degeneracy is the max back-degree in bounded-degeneracy (default 3).
+	Degeneracy int
+	// Diagonal adds one diagonal per grid cell, creating triangles while
+	// keeping degeneracy ≤ 3.
+	Diagonal bool
+	// CliqueSize is k for planted-clique (default 5).
+	CliqueSize int
+	// CliqueCount is the number of planted cliques (default max(1, N/(8k))).
+	CliqueCount int
+	// Background is the noise edge probability for planted-clique (default
+	// 0.05) and the cross-side probability for bipartite (default 0.3).
+	// Probabilities follow the zero-value-is-default convention, so a
+	// negative value requests an explicit 0 (e.g. Background: -1 plants
+	// cliques with no noise at all); normalized Specs record that request
+	// canonically as -1 so regeneration is idempotent.
+	Background float64
+	// Blocks is the community count for stochastic-block (default 4).
+	Blocks int
+	// PIn and POut are the stochastic-block densities inside and across
+	// blocks (defaults 0.25 and 0.02; negative = explicit 0, as above).
+	PIn, POut float64
+	// EdgeFactor scales the Kronecker edge budget to EdgeFactor·N
+	// (default 8).
+	EdgeFactor int
+}
+
+// Properties are the structural guarantees an Instance ships with; tests
+// assert them and the differential harness uses Planted for recall checks.
+type Properties struct {
+	// Planted are cliques guaranteed to be present in G (sorted members).
+	Planted []graph.Clique
+	// DegeneracyBound, when positive, upper-bounds the degeneracy of G —
+	// hence G has no K_{DegeneracyBound+2}.
+	DegeneracyBound int
+	// TriangleFree guarantees G has no K3 (hence no Kp, p ≥ 3).
+	TriangleFree bool
+	// Bipartite guarantees a two-sided structure (implies TriangleFree).
+	Bipartite bool
+}
+
+// Instance is one generated workload: the graph plus the normalized Spec
+// that produced it and the properties it guarantees.
+type Instance struct {
+	Spec  Spec
+	G     *graph.Graph
+	Props Properties
+}
+
+// DefaultSpec returns the representative Spec for a family at size n: the
+// parameters the experiments and the differential harness use. Unknown
+// families are reported by Generate.
+func DefaultSpec(family string, n int, seed int64) Spec {
+	return Spec{Family: family, N: n, Seed: seed}
+}
+
+// normalize fills family defaults and validates; it returns the Spec that
+// becomes Instance.Spec, so equal normalized Specs mean equal graphs.
+func (s Spec) normalize() (Spec, error) {
+	if s.N < 0 {
+		return s, fmt.Errorf("workload: negative vertex count %d", s.N)
+	}
+	if s.Attach == 0 {
+		s.Attach = 4
+	}
+	if s.Degeneracy == 0 {
+		s.Degeneracy = 3
+	}
+	if s.CliqueSize == 0 {
+		s.CliqueSize = 5
+	}
+	if s.CliqueCount == 0 {
+		s.CliqueCount = maxInt(1, s.N/(8*s.CliqueSize))
+	}
+	switch {
+	case s.Background < 0:
+		s.Background = -1 // canonical explicit zero; see the field doc
+	case s.Background == 0 && s.Family == FamilyBipartite:
+		s.Background = 0.3
+	case s.Background == 0:
+		s.Background = 0.05
+	}
+	if s.Blocks == 0 {
+		s.Blocks = 4
+	}
+	if s.PIn < 0 {
+		s.PIn = -1
+	} else if s.PIn == 0 {
+		s.PIn = 0.25
+	}
+	if s.POut < 0 {
+		s.POut = -1
+	} else if s.POut == 0 {
+		s.POut = 0.02
+	}
+	if s.EdgeFactor == 0 {
+		s.EdgeFactor = 8
+	}
+	if s.Attach < 0 || s.Degeneracy < 0 || s.CliqueSize < 1 || s.CliqueCount < 0 ||
+		s.Blocks < 1 || s.EdgeFactor < 0 {
+		return s, fmt.Errorf("workload: negative knob in spec %+v", s)
+	}
+	for _, p := range []float64{s.Background, s.PIn, s.POut} {
+		if math.IsNaN(p) || p > 1 {
+			return s, fmt.Errorf("workload: probability out of [0,1] in spec %+v", s)
+		}
+	}
+	return s, nil
+}
+
+// effProb resolves a normalized probability: -1 is the canonical explicit
+// zero, everything else is literal.
+func effProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Generate builds the workload instance described by spec. It is
+// deterministic: the same spec always yields the same graph. Invalid specs
+// (unknown family, probabilities outside [0,1], more planted vertices than
+// N) return an error, never panic.
+func Generate(spec Spec) (*Instance, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	inst := &Instance{Spec: spec}
+	switch spec.Family {
+	case FamilyBarabasiAlbert:
+		inst.G = barabasiAlbert(spec.N, spec.Attach, rng)
+		inst.Props.DegeneracyBound = spec.Attach
+	case FamilyBipartite:
+		inst.G = graph.RandomBipartite(spec.N, effProb(spec.Background), rng)
+		inst.Props.TriangleFree = true
+		inst.Props.Bipartite = true
+	case FamilyBoundedDegeneracy:
+		inst.G = boundedDegeneracy(spec.N, spec.Degeneracy, rng)
+		inst.Props.DegeneracyBound = spec.Degeneracy
+	case FamilyGrid:
+		inst.G = gridGraph(spec.N, spec.Diagonal)
+		if spec.Diagonal {
+			inst.Props.DegeneracyBound = 3
+		} else {
+			inst.Props.DegeneracyBound = 2
+			inst.Props.TriangleFree = true
+			inst.Props.Bipartite = true
+		}
+	case FamilyKronecker:
+		inst.G = kronecker(spec.N, spec.EdgeFactor, rng)
+	case FamilyPlantedClique:
+		if spec.CliqueCount*spec.CliqueSize > spec.N {
+			return nil, fmt.Errorf("workload: cannot plant %d cliques of size %d in %d vertices",
+				spec.CliqueCount, spec.CliqueSize, spec.N)
+		}
+		g, planted := graph.PlantedCliques(spec.N, spec.CliqueSize, spec.CliqueCount, effProb(spec.Background), rng)
+		inst.G = g
+		inst.Props.Planted = make([]graph.Clique, len(planted))
+		for i, c := range planted {
+			inst.Props.Planted[i] = graph.Clique(c)
+		}
+	case FamilyStochasticBlock:
+		inst.G = stochasticBlock(spec.N, spec.Blocks, effProb(spec.PIn), effProb(spec.POut), rng)
+	default:
+		return nil, fmt.Errorf("workload: unknown family %q (known: %v)", spec.Family, Families())
+	}
+	return inst, nil
+}
+
+// MustGenerate is Generate for known-good specs; it panics on error.
+func MustGenerate(spec Spec) *Instance {
+	inst, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Check verifies the instance's advertised properties against the graph —
+// planted cliques present, degeneracy within bound, triangle-freeness —
+// and returns a descriptive error on the first violation. Cost is the
+// degeneracy peel plus (for TriangleFree instances) triangle enumeration,
+// so call it on test-sized graphs.
+func (inst *Instance) Check() error {
+	for _, c := range inst.Props.Planted {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				if !inst.G.HasEdge(c[i], c[j]) {
+					return fmt.Errorf("workload %s: planted clique %v missing edge {%d,%d}",
+						inst.Spec.Family, c, c[i], c[j])
+				}
+			}
+		}
+	}
+	if b := inst.Props.DegeneracyBound; b > 0 {
+		if d := inst.G.Degeneracy().Degeneracy; d > b {
+			return fmt.Errorf("workload %s: degeneracy %d exceeds advertised bound %d",
+				inst.Spec.Family, d, b)
+		}
+	}
+	if inst.Props.TriangleFree {
+		if t := inst.G.CountCliques(3); t != 0 {
+			return fmt.Errorf("workload %s: advertised triangle-free but has %d triangles",
+				inst.Spec.Family, t)
+		}
+	}
+	return nil
+}
+
+// barabasiAlbert grows a preferential-attachment graph: a K_{attach+1}
+// core, then each new vertex attaches to `attach` distinct existing
+// vertices sampled proportionally to degree (via the repeated-endpoint
+// target list). Every vertex has at most `attach` earlier neighbors, so
+// the insertion order witnesses degeneracy ≤ attach.
+func barabasiAlbert(n, attach int, rng *rand.Rand) *graph.Graph {
+	if attach < 1 || n <= 1 {
+		return graph.MustNew(maxInt(n, 0), nil)
+	}
+	core := minInt(n, attach+1)
+	var edges []graph.Edge
+	// targets holds one entry per edge endpoint: sampling uniformly from it
+	// is degree-proportional sampling.
+	var targets []graph.V
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+			targets = append(targets, graph.V(u), graph.V(v))
+		}
+	}
+	picked := make(map[graph.V]bool, attach)
+	for v := core; v < n; v++ {
+		for k := range picked {
+			delete(picked, k)
+		}
+		for len(picked) < attach {
+			u := targets[rng.Intn(len(targets))]
+			picked[u] = true
+		}
+		us := make([]graph.V, 0, attach)
+		for u := range picked {
+			us = append(us, u)
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		for _, u := range us {
+			edges = append(edges, graph.Edge{U: u, V: graph.V(v)})
+			targets = append(targets, u, graph.V(v))
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// boundedDegeneracy attaches each vertex v to min(v, d) distinct uniformly
+// random earlier vertices: the insertion order witnesses degeneracy ≤ d
+// while local pockets still close cliques of size up to d+1.
+func boundedDegeneracy(n, d int, rng *rand.Rand) *graph.Graph {
+	if n <= 1 || d < 1 {
+		return graph.MustNew(maxInt(n, 0), nil)
+	}
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		k := minInt(v, d)
+		// Sample k distinct earlier vertices via a partial Fisher–Yates on
+		// the first v integers, biased toward recent vertices to create
+		// overlapping back-neighborhoods (and therefore cliques): half the
+		// picks come from the most recent window.
+		seen := make(map[int]bool, k)
+		for len(seen) < k {
+			var u int
+			if rng.Intn(2) == 0 && v > 8 {
+				u = v - 1 - rng.Intn(minInt(v, 8))
+			} else {
+				u = rng.Intn(v)
+			}
+			seen[u] = true
+		}
+		us := make([]int, 0, k)
+		for u := range seen {
+			us = append(us, u)
+		}
+		sort.Ints(us)
+		for _, u := range us {
+			edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// gridGraph lays the first r×c ≤ n vertices on a grid (row-major) with
+// rook edges, optionally adding the (r,c)–(r+1,c+1) diagonal per cell;
+// remaining vertices are isolated so N is honored exactly.
+func gridGraph(n int, diagonal bool) *graph.Graph {
+	if n <= 1 {
+		return graph.MustNew(maxInt(n, 0), nil)
+	}
+	rows := int(math.Sqrt(float64(n)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols := n / rows
+	var edges []graph.Edge
+	id := func(r, c int) graph.V { return graph.V(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+			if diagonal && r+1 < rows && c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c+1)})
+			}
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// kronecker samples ≈ edgeFactor·n directed pairs by R-MAT recursive
+// quadrant descent over the 2^scale universe (probabilities .57/.19/.19/.05)
+// and keeps the simple undirected graph on vertices < n. The skew gives a
+// heavy-tailed degree sequence with a dense core.
+func kronecker(n, edgeFactor int, rng *rand.Rand) *graph.Graph {
+	if n <= 1 || edgeFactor < 1 {
+		return graph.MustNew(maxInt(n, 0), nil)
+	}
+	scale := 1
+	for 1<<scale < n {
+		scale++
+	}
+	budget := edgeFactor * n
+	var edges []graph.Edge
+	for i := 0; i < budget; i++ {
+		u, v := 0, 0
+		for level := 0; level < scale; level++ {
+			r := rng.Float64()
+			u <<= 1
+			v <<= 1
+			switch {
+			case r < 0.57: // upper-left
+			case r < 0.76: // upper-right
+				v |= 1
+			case r < 0.95: // lower-left
+				u |= 1
+			default: // lower-right
+				u |= 1
+				v |= 1
+			}
+		}
+		if u == v || u >= n || v >= n {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)}.Canon())
+	}
+	return graph.MustNew(n, edges)
+}
+
+// stochasticBlock partitions [0,n) into `blocks` contiguous communities and
+// sprinkles edges with probability pIn inside a block and pOut across, via
+// geometric skipping so the cost is O(m) per block pair.
+func stochasticBlock(n, blocks int, pIn, pOut float64, rng *rand.Rand) *graph.Graph {
+	if n <= 1 {
+		return graph.MustNew(maxInt(n, 0), nil)
+	}
+	if blocks > n {
+		blocks = n
+	}
+	bounds := make([]int, blocks+1)
+	for b := 0; b <= blocks; b++ {
+		bounds[b] = b * n / blocks
+	}
+	var edges []graph.Edge
+	for b := 0; b < blocks; b++ {
+		lo, hi := bounds[b], bounds[b+1]
+		size := hi - lo
+		// Within-block pairs, indexed like ErdosRenyi over the block.
+		graph.Sprinkle(rng, int64(size)*int64(size-1)/2, pIn, func(k int64) {
+			u, v := graph.PairFromIndex(k, size)
+			edges = append(edges, graph.Edge{U: graph.V(lo) + u, V: graph.V(lo) + v})
+		})
+		for b2 := b + 1; b2 < blocks; b2++ {
+			lo2, hi2 := bounds[b2], bounds[b2+1]
+			w := hi2 - lo2
+			graph.Sprinkle(rng, int64(size)*int64(w), pOut, func(k int64) {
+				u := lo + int(k/int64(w))
+				v := lo2 + int(k%int64(w))
+				edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+			})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -17,6 +17,23 @@
 //		{U:1,V:2},{U:1,V:3},{U:2,V:3},{U:3,V:4}})
 //	res, err := kplist.ListCONGEST(g, 4, kplist.Options{})
 //	// res.Cliques == [[0 1 2 3]], res.Rounds = the CONGEST bill
+//
+// To serve many queries against one graph, open a Session: the shared
+// preprocessing (degree order) runs once, queries flow through a bounded
+// scheduler, and repeated queries hit a keyed result cache:
+//
+//	inst, _ := kplist.GenerateWorkload(
+//		kplist.DefaultWorkloadSpec(kplist.WorkloadPlantedClique, 200, 42))
+//	s := kplist.NewSession(inst.G, kplist.SessionConfig{MaxConcurrent: 4})
+//	defer s.Close()
+//	for _, br := range s.QueryBatch([]kplist.Query{{P: 4}, {P: 5}, {P: 4}}) {
+//		// br.Result, br.Err; the second {P: 4} is a cache hit
+//	}
+//
+// GenerateWorkload is the scenario-generator subsystem: seeded graph
+// families (power-law, planted cliques, bipartite, stochastic block,
+// Kronecker, grids) with guaranteed structural properties — see
+// DESIGN.md §6.
 package kplist
 
 import (

@@ -1,0 +1,310 @@
+package kplist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kplist/internal/graph"
+)
+
+// Algorithm selects which listing engine a Session query runs.
+type Algorithm string
+
+const (
+	// AlgoCONGEST is the Theorem 1.1 CONGEST pipeline (p ≥ 4).
+	AlgoCONGEST Algorithm = "congest"
+	// AlgoFastK4 is the Theorem 1.2 Õ(n^{2/3}) K4 variant (p must be 4).
+	AlgoFastK4 Algorithm = "fastk4"
+	// AlgoCongestedClique is the Theorem 1.3 sparsity-aware lister (p ≥ 3).
+	AlgoCongestedClique Algorithm = "congested-clique"
+	// AlgoBroadcast is the trivial Θ̃(n) baseline (Remark 2.6).
+	AlgoBroadcast Algorithm = "broadcast"
+)
+
+// Query is one listing request against a Session's graph. The zero value
+// of Algo is normalized to AlgoCongestedClique for p = 3 and AlgoCONGEST
+// otherwise; the normalized Query is the cache key, so requests that
+// normalize equal share one execution.
+type Query struct {
+	// P is the clique size to list.
+	P int
+	// Algo selects the engine; see the normalization rule above.
+	Algo Algorithm
+	// Seed, PaperCosts and FinalExponent mirror Options and are part of
+	// the query identity.
+	Seed          int64
+	PaperCosts    bool
+	FinalExponent float64
+	// Workers mirrors Options.Workers. It is a host-parallelism hint only —
+	// results and round bills are identical for every value — so it is
+	// excluded from the cache key: queries differing only in Workers
+	// coalesce, executing with the first arrival's hint.
+	Workers int
+}
+
+// SessionConfig configures NewSession.
+type SessionConfig struct {
+	// MaxConcurrent bounds how many queries execute simultaneously; further
+	// queries wait for a slot. 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// Verify cross-checks every fresh result against the session's shared
+	// sequential ground truth before caching it.
+	Verify bool
+	// PruneByDegeneracy answers queries with p > degeneracy+1 straight from
+	// the precomputed degree order: such graphs cannot contain a Kp, so the
+	// result is an empty listing with a zero round bill (the preprocessing
+	// phase already paid for the peel). Off by default because the skipped
+	// bill makes round measurements incomparable across p.
+	PruneByDegeneracy bool
+}
+
+// SessionStats is a snapshot of a Session's serving counters.
+type SessionStats struct {
+	// Queries is the total number of Query/QueryBatch requests served.
+	Queries int64
+	// Hits are requests answered from the cache or coalesced onto an
+	// identical in-flight execution; Misses are fresh executions. Pruned
+	// counts degeneracy short-circuits (a subset of Misses).
+	Hits, Misses, Pruned int64
+	// Unique is the number of distinct normalized queries seen.
+	Unique int
+	// PeakConcurrent is the highest number of simultaneously executing
+	// queries observed (≤ MaxConcurrent).
+	PeakConcurrent int
+}
+
+// Session amortizes listing work across many queries on one graph: open it
+// once, and it precomputes the shared artefacts (the degeneracy/degree
+// order every pipeline starts from, the edge census) and then serves
+// queries through a bounded scheduler with a keyed result cache. Repeated
+// or concurrent identical queries execute once; the rest wait for slots so
+// a burst of queries cannot oversubscribe the host. A Session is safe for
+// concurrent use. This is the serving-shaped split of the paper's
+// preprocessing vs listing phases (DESIGN.md §6).
+type Session struct {
+	g   *Graph
+	cfg SessionConfig
+
+	sem chan struct{}
+
+	mu      sync.Mutex
+	entries map[Query]*sessionEntry
+	stats   SessionStats
+	active  int
+	closed  bool
+
+	degen *graph.DegeneracyResult
+
+	gtMu sync.Mutex
+	gt   map[int]*gtEntry
+}
+
+type sessionEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+type gtEntry struct {
+	done chan struct{}
+	cs   []Clique
+}
+
+// NewSession opens a session on g, paying the shared preprocessing once:
+// the degeneracy peel (degree order + coreness, the artefact every
+// pipeline's orientation phase consumes) runs here, not per query.
+func NewSession(g *Graph, cfg SessionConfig) *Session {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	return &Session{
+		g:       g,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		entries: make(map[Query]*sessionEntry),
+		degen:   g.Degeneracy(),
+		gt:      make(map[int]*gtEntry),
+	}
+}
+
+// Graph returns the session's graph.
+func (s *Session) Graph() *Graph { return s.g }
+
+// Degeneracy returns the precomputed degeneracy of the session's graph; no
+// Kp with p > Degeneracy()+1 exists.
+func (s *Session) Degeneracy() int { return s.degen.Degeneracy }
+
+// normalize applies the Algo defaulting rule and validates the query.
+func (s *Session) normalize(q Query) (Query, error) {
+	if q.Algo == "" {
+		if q.P == 3 {
+			q.Algo = AlgoCongestedClique
+		} else {
+			q.Algo = AlgoCONGEST
+		}
+	}
+	switch q.Algo {
+	case AlgoCONGEST:
+		if q.P < 4 {
+			return q, fmt.Errorf("kplist: %s requires p ≥ 4, got %d", q.Algo, q.P)
+		}
+	case AlgoFastK4:
+		if q.P != 4 {
+			return q, fmt.Errorf("kplist: %s requires p = 4, got %d", q.Algo, q.P)
+		}
+	case AlgoCongestedClique, AlgoBroadcast:
+		if q.P < 3 {
+			return q, fmt.Errorf("kplist: %s requires p ≥ 3, got %d", q.Algo, q.P)
+		}
+	default:
+		return q, fmt.Errorf("kplist: unknown algorithm %q", q.Algo)
+	}
+	return q, nil
+}
+
+// Query serves one listing request, returning the cached result when an
+// identical (normalized) query has already run or is in flight.
+func (s *Session) Query(q Query) (*Result, error) {
+	q, err := s.normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	key := q
+	key.Workers = 0 // not part of the query identity (see Query.Workers)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("kplist: session is closed")
+	}
+	s.stats.Queries++
+	if e, ok := s.entries[key]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &sessionEntry{done: make(chan struct{})}
+	s.entries[key] = e
+	s.stats.Misses++
+	s.stats.Unique = len(s.entries)
+	pruned := s.cfg.PruneByDegeneracy && q.P > s.degen.Degeneracy+1
+	if pruned {
+		s.stats.Pruned++
+	}
+	s.mu.Unlock()
+
+	if pruned {
+		e.res, e.err = &Result{Cliques: []Clique{}}, nil
+	} else {
+		s.sem <- struct{}{}
+		s.mu.Lock()
+		s.active++
+		if s.active > s.stats.PeakConcurrent {
+			s.stats.PeakConcurrent = s.active
+		}
+		s.mu.Unlock()
+		e.res, e.err = s.run(q)
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+		<-s.sem
+	}
+	close(e.done)
+	return e.res, e.err
+}
+
+func (s *Session) run(q Query) (*Result, error) {
+	opt := Options{
+		Seed:          q.Seed,
+		Workers:       q.Workers,
+		PaperCosts:    q.PaperCosts,
+		FinalExponent: q.FinalExponent,
+	}
+	var (
+		res *Result
+		err error
+	)
+	switch q.Algo {
+	case AlgoCONGEST:
+		res, err = ListCONGEST(s.g, q.P, opt)
+	case AlgoFastK4:
+		opt.FastK4 = true
+		res, err = ListCONGEST(s.g, q.P, opt)
+	case AlgoCongestedClique:
+		res, err = ListCongestedClique(s.g, q.P, opt)
+	case AlgoBroadcast:
+		res, err = ListBroadcast(s.g, q.P, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Verify {
+		want := graph.NewCliqueSet(s.GroundTruth(q.P))
+		if !graph.NewCliqueSet(res.Cliques).Equal(want) {
+			return nil, fmt.Errorf("kplist: session verify failed for %+v: got %d cliques, want %d",
+				q, len(res.Cliques), want.Len())
+		}
+	}
+	return res, nil
+}
+
+// GroundTruth returns the sequential enumeration of Kp for the session's
+// graph, computed once per p and shared by every verifying query.
+// Concurrent first calls for the same p coalesce onto one enumeration;
+// distinct p values enumerate concurrently (the lock guards only the map).
+func (s *Session) GroundTruth(p int) []Clique {
+	s.gtMu.Lock()
+	if e, ok := s.gt[p]; ok {
+		s.gtMu.Unlock()
+		<-e.done
+		return e.cs
+	}
+	e := &gtEntry{done: make(chan struct{})}
+	s.gt[p] = e
+	s.gtMu.Unlock()
+	e.cs = s.g.ListCliques(p)
+	close(e.done)
+	return e.cs
+}
+
+// BatchResult pairs one query of a batch with its outcome.
+type BatchResult struct {
+	Query  Query
+	Result *Result
+	Err    error
+}
+
+// QueryBatch serves a batch of queries concurrently through the session's
+// scheduler and returns outcomes aligned with the input order. Duplicate
+// queries within the batch coalesce onto a single execution.
+func (s *Session) QueryBatch(qs []Query) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	var wg sync.WaitGroup
+	wg.Add(len(qs))
+	for i := range qs {
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Query(qs[i])
+			out[i] = BatchResult{Query: qs[i], Result: res, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close marks the session closed: subsequent queries fail, in-flight
+// queries complete normally. Closing is optional — a Session holds no
+// resources beyond memory — but stops accidental use-after-serve.
+func (s *Session) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,252 @@
+package kplist_test
+
+import (
+	"sync"
+	"testing"
+
+	"kplist"
+	"kplist/internal/workload"
+)
+
+func sessionTestGraph(t testing.TB) (*kplist.Graph, []kplist.Clique) {
+	t.Helper()
+	spec := workload.DefaultSpec(workload.FamilyPlantedClique, 90, 11)
+	spec.CliqueSize = 5
+	spec.CliqueCount = 2
+	inst, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planted := make([]kplist.Clique, len(inst.Props.Planted))
+	for i, c := range inst.Props.Planted {
+		planted[i] = kplist.Clique(c)
+	}
+	return inst.G, planted
+}
+
+// TestSessionConcurrentMixedQueries is the acceptance workload: ≥ 100
+// concurrent queries with mixed p and algorithms through one session, all
+// results exact, duplicates served from the cache. Run under -race in CI.
+func TestSessionConcurrentMixedQueries(t *testing.T) {
+	g, planted := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{MaxConcurrent: 8, Verify: true})
+	defer s.Close()
+
+	distinct := []kplist.Query{
+		{P: 3, Algo: kplist.AlgoCongestedClique},
+		{P: 3, Algo: kplist.AlgoBroadcast},
+		{P: 4, Algo: kplist.AlgoCONGEST},
+		{P: 4, Algo: kplist.AlgoFastK4},
+		{P: 4, Algo: kplist.AlgoCongestedClique},
+		{P: 5, Algo: kplist.AlgoCONGEST},
+		{P: 5, Algo: kplist.AlgoCongestedClique},
+		{P: 6, Algo: kplist.AlgoCONGEST},
+	}
+	const waves = 16 // 16×8 = 128 concurrent queries
+	qs := make([]kplist.Query, 0, waves*len(distinct))
+	for w := 0; w < waves; w++ {
+		qs = append(qs, distinct...)
+	}
+	out := s.QueryBatch(qs)
+	if len(out) != len(qs) {
+		t.Fatalf("batch returned %d results for %d queries", len(out), len(qs))
+	}
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("query %d (%+v): %v", i, br.Query, br.Err)
+		}
+		if err := kplist.Verify(g, br.Query.P, br.Result.Cliques); err != nil {
+			t.Fatalf("query %d (%+v): %v", i, br.Query, err)
+		}
+	}
+	// The planted K5s must surface in every p=5 result.
+	for _, br := range out {
+		if br.Query.P != 5 {
+			continue
+		}
+		set := map[string]bool{}
+		for _, c := range br.Result.Cliques {
+			set[cliqueKey(c)] = true
+		}
+		for _, p := range planted {
+			if !set[cliqueKey(p)] {
+				t.Fatalf("%+v: planted clique %v missing", br.Query, p)
+			}
+		}
+	}
+
+	st := s.Stats()
+	if st.Queries != int64(len(qs)) {
+		t.Errorf("stats saw %d queries, want %d", st.Queries, len(qs))
+	}
+	if st.Unique != len(distinct) {
+		t.Errorf("unique queries = %d, want %d", st.Unique, len(distinct))
+	}
+	if st.Misses != int64(len(distinct)) {
+		t.Errorf("misses = %d, want %d (one execution per distinct query)", st.Misses, len(distinct))
+	}
+	wantHits := int64(len(qs) - len(distinct))
+	if st.Hits != wantHits {
+		t.Errorf("hits = %d, want %d", st.Hits, wantHits)
+	}
+	if st.PeakConcurrent > 8 {
+		t.Errorf("scheduler exceeded MaxConcurrent: peak %d > 8", st.PeakConcurrent)
+	}
+}
+
+func cliqueKey(c kplist.Clique) string {
+	b := make([]byte, 0, 4*len(c))
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func TestSessionRepeatedQueryIsCached(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	q := kplist.Query{P: 4}
+	r1, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("repeated query should return the cached *Result")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestSessionNormalizationSharesCache(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	if _, err := s.Query(kplist.Query{P: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit AlgoCONGEST normalizes to the same key as the default.
+	if _, err := s.Query(kplist.Query{P: 4, Algo: kplist.AlgoCONGEST}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Unique != 1 || st.Hits != 1 {
+		t.Errorf("normalized duplicates should share one entry: %+v", st)
+	}
+}
+
+func TestSessionWorkersNotPartOfIdentity(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	r1, err := s.Query(kplist.Query{P: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Query(kplist.Query{P: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("queries differing only in Workers should share one execution")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestSessionQueryValidation(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	bad := []kplist.Query{
+		{P: 3, Algo: kplist.AlgoCONGEST},
+		{P: 5, Algo: kplist.AlgoFastK4},
+		{P: 2, Algo: kplist.AlgoBroadcast},
+		{P: 4, Algo: "no-such-engine"},
+	}
+	for _, q := range bad {
+		if _, err := s.Query(q); err == nil {
+			t.Errorf("query %+v should be rejected", q)
+		}
+	}
+	if st := s.Stats(); st.Queries != 0 {
+		t.Errorf("invalid queries must not count as served: %+v", st)
+	}
+}
+
+func TestSessionPruneByDegeneracy(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{PruneByDegeneracy: true})
+	defer s.Close()
+	// The planted workload has degeneracy ≥ 4 (the K5s); p far above the
+	// degeneracy+1 ceiling must short-circuit to an empty listing.
+	p := s.Degeneracy() + 2
+	res, err := s.Query(kplist.Query{P: p, Algo: kplist.AlgoCongestedClique})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) != 0 || res.Rounds != 0 {
+		t.Errorf("pruned query returned %d cliques, %d rounds", len(res.Cliques), res.Rounds)
+	}
+	if st := s.Stats(); st.Pruned != 1 {
+		t.Errorf("pruned = %d, want 1", st.Pruned)
+	}
+	if err := kplist.Verify(g, p, res.Cliques); err != nil {
+		t.Errorf("pruned answer is wrong: %v", err)
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	s.Close()
+	if _, err := s.Query(kplist.Query{P: 4}); err == nil {
+		t.Error("query on a closed session should fail")
+	}
+}
+
+func TestSessionGroundTruthMemo(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	a := s.GroundTruth(4)
+	b := s.GroundTruth(4)
+	if len(a) != len(b) {
+		t.Fatal("ground-truth memo changed between calls")
+	}
+	if err := kplist.Verify(g, 4, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionSchedulerBound hammers a tiny MaxConcurrent with distinct
+// queries (different seeds defeat the cache) and asserts the bound held.
+func TestSessionSchedulerBound(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{MaxConcurrent: 2})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Query(kplist.Query{P: 4, Seed: int64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.PeakConcurrent > 2 {
+		t.Errorf("peak concurrency %d exceeds MaxConcurrent 2", st.PeakConcurrent)
+	}
+	if st.Misses != 24 {
+		t.Errorf("distinct seeds must all execute: misses=%d", st.Misses)
+	}
+}

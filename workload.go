@@ -1,0 +1,44 @@
+package kplist
+
+import "kplist/internal/workload"
+
+// The workload surface re-exports internal/workload: seeded scenario
+// generators beyond G(n,p) whose instances carry the structural properties
+// (planted cliques, degeneracy bounds, triangle-freeness) that experiments
+// and the differential test harness assert against. See DESIGN.md §6 for
+// the family ↔ sparsity-regime map.
+
+// WorkloadSpec selects and sizes one workload instance.
+type WorkloadSpec = workload.Spec
+
+// WorkloadInstance is a generated graph plus its guaranteed properties.
+type WorkloadInstance = workload.Instance
+
+// WorkloadProperties are the structural guarantees an instance ships with.
+type WorkloadProperties = workload.Properties
+
+// Workload family names accepted by GenerateWorkload.
+const (
+	WorkloadBarabasiAlbert    = workload.FamilyBarabasiAlbert
+	WorkloadBipartite         = workload.FamilyBipartite
+	WorkloadBoundedDegeneracy = workload.FamilyBoundedDegeneracy
+	WorkloadGrid              = workload.FamilyGrid
+	WorkloadKronecker         = workload.FamilyKronecker
+	WorkloadPlantedClique     = workload.FamilyPlantedClique
+	WorkloadStochasticBlock   = workload.FamilyStochasticBlock
+)
+
+// WorkloadFamilies returns the registered family names in stable order.
+func WorkloadFamilies() []string { return workload.Families() }
+
+// DefaultWorkloadSpec returns the representative spec for a family at size
+// n — the parameters the experiments and the differential suite use.
+func DefaultWorkloadSpec(family string, n int, seed int64) WorkloadSpec {
+	return workload.DefaultSpec(family, n, seed)
+}
+
+// GenerateWorkload builds the workload instance described by spec,
+// deterministically under spec.Seed.
+func GenerateWorkload(spec WorkloadSpec) (*WorkloadInstance, error) {
+	return workload.Generate(spec)
+}
