@@ -28,7 +28,7 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated experiments to run (e1..e10); empty = all")
+		only    = fs.String("only", "", "comma-separated experiments to run (e1..e11); empty = all")
 		quick   = fs.Bool("quick", false, "small sizes for a fast smoke run")
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
@@ -52,6 +52,7 @@ func run(args []string, w io.Writer) error {
 		cfg.CCN = 128
 		cfg.Ps = []int{4, 5}
 		cfg.WorkloadSizes = []int{96, 128, 192}
+		cfg.PoolSizes = []int{1, 2, 3}
 		ablN, ccN = 96, 100
 	}
 
@@ -70,6 +71,7 @@ func run(args []string, w io.Writer) error {
 		{"e8", func() ([]bench.Series, error) { return bench.E8CountingVsListing(ccN, *seed, *workers) }},
 		{"e9", func() ([]bench.Series, error) { return bench.E9WorkloadFamilies(cfg) }},
 		{"e10", func() ([]bench.Series, error) { return bench.E10SessionAmortization(cfg) }},
+		{"e11", func() ([]bench.Series, error) { return bench.E11ServerThroughput(cfg) }},
 	}
 	known := map[string]bool{}
 	for _, r := range runners {

@@ -68,6 +68,39 @@ func TestRunUnknownExperimentErrors(t *testing.T) {
 // deterministic under the default seed; regenerate with
 // `go test ./cmd/benchrunner -run Golden -update` after intentional
 // changes to the generators, the lister bills, or the table format.
+// TestServerExperimentGolden pins the full -quick output of the serving
+// experiment (E11): the request trace, the pool hit/eviction profile and
+// the round bills are all deterministic under the default seed.
+// Regenerate with `go test ./cmd/benchrunner -run ServerExperimentGolden
+// -update` after intentional changes to the serving layer or generators.
+func TestServerExperimentGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "e11"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "==== E11 ====") {
+		t.Fatalf("missing E11 header:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "server_quick.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
 func TestWorkloadExperimentsGolden(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-quick", "-only", "e9,e10"}, &sb); err != nil {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonServesAndShutsDown boots the daemon on an ephemeral port,
+// registers a graph, queries it, and then cancels the context — the
+// graceful-shutdown path must drain and return nil.
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	var logs strings.Builder
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pool", "2"}, &logs, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, logs.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	reg := `{"workload":{"family":"planted-clique","n":80,"seed":3,"cliqueSize":4}}`
+	resp, err = http.Post(base+"/v1/graphs", "application/json", strings.NewReader(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/graphs/"+info.ID+"/query", "application/json",
+		strings.NewReader(`{"p":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"cliques"`) {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(logs.String(), "listening on") {
+		t.Errorf("startup log missing:\n%s", logs.String())
+	}
+}
+
+func TestDaemonBadFlag(t *testing.T) {
+	var logs strings.Builder
+	if err := run(context.Background(), []string{"-definitely-not-a-flag"}, &logs, nil); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	var logs strings.Builder
+	err := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &logs, nil)
+	if err == nil {
+		t.Error("unlistenable address should error")
+	}
+}

@@ -1,0 +1,25 @@
+package kplist
+
+import (
+	"errors"
+
+	"kplist/internal/workload"
+)
+
+// Typed sentinels for the public serving surface. Every error returned by
+// Session.Query/QueryContext and GenerateWorkload that stems from the
+// caller's request (rather than an internal failure) wraps one of these,
+// so servers can branch with errors.Is and map caller mistakes to 4xx
+// responses while genuine failures stay 5xx.
+var (
+	// ErrSessionClosed reports a query against a Close()d Session.
+	ErrSessionClosed = errors.New("kplist: session is closed")
+	// ErrUnknownEngine reports a Query.Algo outside the Algo* constants.
+	ErrUnknownEngine = errors.New("kplist: unknown engine")
+	// ErrInvalidQuery reports a Query whose parameters are outside the
+	// selected engine's domain (e.g. p = 3 for the CONGEST pipeline).
+	ErrInvalidQuery = errors.New("kplist: invalid query")
+	// ErrUnknownFamily reports a WorkloadSpec.Family outside the
+	// registered generator families.
+	ErrUnknownFamily = workload.ErrUnknownFamily
+)

@@ -50,6 +50,9 @@ func List(n int, edges graph.EdgeList, prm Params, cm congest.CostModel, ledger 
 	out := &ListResult{Cliques: make(graph.CliqueSet)}
 	cap := prm.maxIterations(n)
 	for iter := 0; len(er) > 0 && iter < cap; iter++ {
+		if err := congest.CtxErr(prm.Ctx); err != nil {
+			return nil, err
+		}
 		out.ErSizes = append(out.ErSizes, len(er))
 		passPrm := prm
 		passPrm.Seed = prm.Seed + int64(iter)*1_000_003

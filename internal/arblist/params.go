@@ -8,6 +8,7 @@
 package arblist
 
 import (
+	"context"
 	"math"
 	"runtime"
 
@@ -16,6 +17,9 @@ import (
 
 // Params configures one ARB-LIST / LIST run.
 type Params struct {
+	// Ctx, when non-nil, is polled between LIST passes so a cancelled run
+	// stops within one ARB-LIST round of work. nil means no cancellation.
+	Ctx context.Context
 	// P is the clique size, ≥ 4 for the general pipeline (the in-cluster
 	// lister itself also supports p = 3).
 	P int

@@ -29,6 +29,9 @@ type Config struct {
 	Ps []int
 	// Seed drives all randomness.
 	Seed int64
+	// PoolSizes is the session-pool capacity sweep for E11 (default
+	// 1, 2, 4).
+	PoolSizes []int
 	// Repeats averages each sweep point over this many seeds (default 3)
 	// to damp the discrete k^{1/p} radix and min-degree variance.
 	Repeats int

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"kplist"
+	"kplist/internal/server"
+	"kplist/internal/workload"
+)
+
+// E11 exercises the kplistd serving layer end-to-end over HTTP (DESIGN.md
+// §7): a fixed request trace — planted-clique graphs registered per
+// workload size, then waves of repeated single-client queries — replayed
+// against session pools of increasing capacity. Everything reported is
+// deterministic (round bills, pool hit/miss/eviction counts); wall-clock
+// throughput is measured separately by BenchmarkServerQuery, so the table
+// is golden-testable like E9/E10.
+
+// poolSizes returns the session-pool capacity sweep for E11.
+func (c Config) poolSizes() []int {
+	if len(c.PoolSizes) != 0 {
+		return c.PoolSizes
+	}
+	return []int{1, 2, 4}
+}
+
+// e11Trace replays the fixed trace against one server and returns the
+// summed response round bill plus the pool counters.
+func e11Trace(cfg Config, poolSize int) (Point, error) {
+	const waves = 3
+	srv := server.New(server.Config{
+		PoolSize:        poolSize,
+		MaxGraphs:       16,
+		QueueLimit:      64,
+		DefaultDeadline: time.Minute,
+		Session:         kplist.SessionConfig{MaxConcurrent: maxI(cfg.Workers, 1)},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(url string, body any) (map[string]any, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode/100 != 2 {
+			return nil, fmt.Errorf("status %d: %v", resp.StatusCode, out)
+		}
+		return out, nil
+	}
+
+	// Register one planted-clique graph per workload size.
+	var ids []string
+	for _, n := range cfg.workloadSizes() {
+		spec := workload.DefaultSpec(workload.FamilyPlantedClique, n, cfg.Seed)
+		spec.CliqueSize = 4
+		out, err := post(ts.URL+"/v1/graphs", map[string]any{"workload": spec})
+		if err != nil {
+			return Point{}, fmt.Errorf("register n=%d: %w", n, err)
+		}
+		id, _ := out["id"].(string)
+		if id == "" {
+			return Point{}, fmt.Errorf("register n=%d: no id in %v", n, out)
+		}
+		ids = append(ids, id)
+	}
+
+	// The trace: waves of single-client queries across every graph. With a
+	// pool smaller than the graph count, each wave thrashes sessions
+	// (evictions and cold re-opens); at capacity the first wave warms the
+	// pool and later waves ride session caches end to end.
+	var servedRounds, servedMsgs, requests int64
+	for w := 0; w < waves; w++ {
+		for _, id := range ids {
+			for _, q := range []map[string]any{
+				{"p": 4, "algo": "congested-clique", "seed": cfg.Seed},
+				{"p": 3, "algo": "congested-clique", "seed": cfg.Seed},
+			} {
+				out, err := post(ts.URL+"/v1/graphs/"+id+"/query", q)
+				if err != nil {
+					return Point{}, fmt.Errorf("query %s %v: %w", id, q, err)
+				}
+				results, _ := out["results"].([]any)
+				if len(results) != 1 {
+					return Point{}, fmt.Errorf("query %s: malformed results %v", id, out)
+				}
+				r, _ := results[0].(map[string]any)
+				if e, _ := r["error"].(string); e != "" {
+					return Point{}, fmt.Errorf("query %s: %s", id, e)
+				}
+				servedRounds += int64(r["rounds"].(float64))
+				servedMsgs += int64(r["messages"].(float64))
+				requests++
+			}
+		}
+	}
+	ps := srv.Pool().Stats()
+	return Point{
+		X:        float64(poolSize),
+		Rounds:   servedRounds,
+		Messages: servedMsgs,
+		Meta: map[string]float64{
+			"requests":     float64(requests),
+			"poolHits":     float64(ps.Hits),
+			"poolMisses":   float64(ps.Misses),
+			"evictions":    float64(ps.Evictions),
+			"sessionHits":  float64(ps.SessionHits),
+			"sessionMiss":  float64(ps.SessionMisses),
+			"openSessions": float64(ps.Open),
+		},
+	}, nil
+}
+
+// E11ServerThroughput sweeps the session-pool capacity under the fixed
+// serving trace. The deterministic signature of throughput is the pool
+// hit/eviction profile: undersized pools re-open (re-peel) sessions every
+// wave, while a full-size pool converges to pure session-cache hits.
+func E11ServerThroughput(cfg Config) ([]Series, error) {
+	cfg = cfg.withDefaults()
+	s := Series{
+		Name: fmt.Sprintf("E11: kplistd serving trace — pool hit/eviction profile vs pool size (%d graphs × 3 waves × 2 queries)",
+			len(cfg.workloadSizes())),
+		XLabel: "poolSize",
+	}
+	for _, size := range cfg.poolSizes() {
+		pt, err := e11Trace(cfg, size)
+		if err != nil {
+			return nil, fmt.Errorf("E11 pool=%d: %w", size, err)
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return []Series{s}, nil
+}

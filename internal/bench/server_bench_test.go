@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kplist/internal/server"
+	"kplist/internal/workload"
+)
+
+// BenchmarkServerQuery measures the end-to-end HTTP query path of the
+// serving layer: "hot" repeats one query so every request after the first
+// rides the session result cache (HTTP + JSON + cache lookup), "cold"
+// changes the seed every iteration so every request executes the engine.
+// The gap between the two is the amortization the Session cache buys the
+// server (compare E10 for the model-level view).
+func BenchmarkServerQuery(b *testing.B) {
+	n := 256
+	if testing.Short() {
+		n = 96
+	}
+	spec := workload.DefaultSpec(workload.FamilyPlantedClique, n, 1)
+	spec.CliqueSize = 4
+
+	newServer := func(b *testing.B) string {
+		b.Helper()
+		srv := server.New(server.Config{DefaultDeadline: time.Minute})
+		ts := httptest.NewServer(srv.Handler())
+		b.Cleanup(ts.Close)
+		out := postObj(b, ts.URL+"/v1/graphs", map[string]any{"workload": spec})
+		id, _ := out["id"].(string)
+		if id == "" {
+			b.Fatalf("register: %v", out)
+		}
+		return ts.URL + "/v1/graphs/" + id + "/query"
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		url := newServer(b)
+		q := map[string]any{"p": 4, "algo": "congested-clique"}
+		postObj(b, url, q) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			postObj(b, url, q)
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		url := newServer(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh seed defeats the result cache: full engine run.
+			postObj(b, url, map[string]any{"p": 4, "algo": "congested-clique", "seed": i + 1})
+		}
+	})
+}
+
+func postObj(b *testing.B, url string, body any) map[string]any {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode/100 != 2 {
+		b.Fatal(fmt.Errorf("status %d: %v", resp.StatusCode, out))
+	}
+	return out
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,11 @@ import (
 
 // Params configures a Theorem 1.1 / 1.2 run.
 type Params struct {
+	// Ctx, when non-nil, is checked between engine rounds — at every
+	// outer halving iteration, every ARB-LIST pass inside it, and before
+	// the final broadcast phase — so a cancelled run stops burning CPU
+	// within one round of work. nil means no cancellation.
+	Ctx context.Context
 	// P is the clique size, ≥ 4 (use sparselist.CongestedClique for p=3 in
 	// the congested clique, or baseline.BroadcastListGraph in CONGEST).
 	P int
@@ -103,6 +109,9 @@ func ListCliques(g *graph.Graph, prm Params, cm congest.CostModel, ledger *conge
 	out := &Result{Cliques: make(graph.CliqueSet)}
 	arbBound := currentArbBound(n, edges)
 	for iter := 0; iter < maxOuter && len(edges) > 0 && arbBound > finalThr; iter++ {
+		if err := congest.CtxErr(prm.Ctx); err != nil {
+			return nil, err
+		}
 		out.ArboricityLadder = append(out.ArboricityLadder, arbBound)
 		lg := congest.Log2Ceil(n)
 		threshold := arbBound / int(2*lg)
@@ -113,6 +122,7 @@ func ListCliques(g *graph.Graph, prm Params, cm congest.CostModel, ledger *conge
 			threshold = 1
 		}
 		res, err := arblist.List(n, edges, arblist.Params{
+			Ctx:               prm.Ctx,
 			P:                 prm.P,
 			ClusterThreshold:  threshold,
 			FastK4:            prm.FastK4,
@@ -145,6 +155,9 @@ func ListCliques(g *graph.Graph, prm Params, cm congest.CostModel, ledger *conge
 	out.ArboricityLadder = append(out.ArboricityLadder, arbBound)
 	out.FinalEdges = len(edges)
 	if len(edges) > 0 {
+		if err := congest.CtxErr(prm.Ctx); err != nil {
+			return nil, err
+		}
 		fullGraph, err := edges.Graph(n)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"kplist"
+)
+
+// errorResponse is the JSON error envelope every non-2xx body uses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps typed kplist/server errors onto HTTP statuses: caller
+// mistakes (unknown engine/family, out-of-domain query) are 4xx, deadline
+// and shutdown conditions 5xx, everything unrecognized 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, kplist.ErrInvalidQuery),
+		errors.Is(err, kplist.ErrUnknownEngine),
+		errors.Is(err, kplist.ErrUnknownFamily):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrGraphNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrRegistryFull):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, kplist.ErrSessionClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// registerRequest registers a graph: either an explicit edge list over n
+// vertices, or a workload spec to generate from (exactly one of the two).
+type registerRequest struct {
+	Name     string               `json:"name,omitempty"`
+	N        int                  `json:"n,omitempty"`
+	Edges    [][2]int32           `json:"edges,omitempty"`
+	Workload *kplist.WorkloadSpec `json:"workload,omitempty"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad register body: %w", err))
+		return
+	}
+	var (
+		g       *kplist.Graph
+		family  string
+		planted []kplist.Clique
+	)
+	switch {
+	case req.Workload != nil && req.Edges != nil:
+		writeError(w, http.StatusBadRequest, errors.New("provide either edges or workload, not both"))
+		return
+	case req.Workload != nil:
+		// Bound generation cost before generating: the same vertex/edge
+		// limits the upload path enforces, with the edge side checked
+		// against the spec's expected edge count (generation is Θ(edges)).
+		if req.Workload.N > s.cfg.MaxUploadN {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("workload n=%d exceeds limit %d", req.Workload.N, s.cfg.MaxUploadN))
+			return
+		}
+		est, err := req.Workload.EstimatedEdges()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if est > int64(s.cfg.MaxUploadEdges) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("workload expects ≈%d edges, exceeding limit %d", est, s.cfg.MaxUploadEdges))
+			return
+		}
+		inst, err := kplist.GenerateWorkload(*req.Workload)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		g = inst.G
+		family = inst.Spec.Family
+		for _, c := range inst.Props.Planted {
+			planted = append(planted, kplist.Clique(c))
+		}
+	default:
+		if req.N < 0 || req.N > s.cfg.MaxUploadN {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("n=%d outside [0, %d]", req.N, s.cfg.MaxUploadN))
+			return
+		}
+		if len(req.Edges) > s.cfg.MaxUploadEdges {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%d edges exceeds limit %d", len(req.Edges), s.cfg.MaxUploadEdges))
+			return
+		}
+		edges := make([]kplist.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = kplist.Edge{U: e[0], V: e[1]}
+		}
+		var err error
+		g, err = kplist.NewGraph(req.N, edges)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	info, err := s.reg.Register(req.Name, family, g, planted)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rg, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rg.Info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.reg.Remove(id); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.pool.Invalidate(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// apiQuery is the wire form of one kplist.Query.
+type apiQuery struct {
+	P             int     `json:"p"`
+	Algo          string  `json:"algo,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	PaperCosts    bool    `json:"paperCosts,omitempty"`
+	FinalExponent float64 `json:"finalExponent,omitempty"`
+}
+
+func (q apiQuery) toQuery() kplist.Query {
+	return kplist.Query{
+		P:             q.P,
+		Algo:          kplist.Algorithm(q.Algo),
+		Seed:          q.Seed,
+		PaperCosts:    q.PaperCosts,
+		FinalExponent: q.FinalExponent,
+	}
+}
+
+// queryRequest is a batch (Queries) or a single query (the inline apiQuery
+// fields, used when Queries is empty).
+type queryRequest struct {
+	apiQuery
+	Queries        []apiQuery `json:"queries,omitempty"`
+	IncludeCliques bool       `json:"includeCliques,omitempty"`
+}
+
+type queryResult struct {
+	Query      apiQuery        `json:"query"`
+	Cliques    int             `json:"cliques"`
+	Rounds     int64           `json:"rounds"`
+	Messages   int64           `json:"messages"`
+	CliqueList []kplist.Clique `json:"cliqueList,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+type queryResponse struct {
+	Graph   string        `json:"graph"`
+	Results []queryResult `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rg, err := s.reg.Get(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query body: %w", err))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatchQueries))
+		return
+	}
+	single := len(req.Queries) == 0
+	wire := req.Queries
+	if single {
+		wire = []apiQuery{req.apiQuery}
+	}
+	qs := make([]kplist.Query, len(wire))
+	for i, q := range wire {
+		qs[i] = q.toQuery()
+	}
+
+	sess, release, err := s.acquireChecked(r.Context(), id, rg.G)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer release()
+	batch := sess.QueryBatchContext(r.Context(), qs)
+
+	resp := queryResponse{Graph: id, Results: make([]queryResult, len(batch))}
+	for i, br := range batch {
+		qr := queryResult{Query: wire[i]}
+		if br.Err != nil {
+			qr.Error = br.Err.Error()
+		} else {
+			qr.Cliques = len(br.Result.Cliques)
+			qr.Rounds = br.Result.Rounds
+			qr.Messages = br.Result.Messages
+			if req.IncludeCliques {
+				qr.CliqueList = br.Result.Cliques
+			}
+		}
+		resp.Results[i] = qr
+	}
+	// A single failed query maps its typed error to the response status;
+	// batches always answer 200 with per-result errors.
+	if single && batch[0].Err != nil {
+		writeJSON(w, statusFor(batch[0].Err), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// acquireChecked acquires id's pooled session and then re-checks the
+// registry: a DELETE racing between the handler's registry lookup and the
+// pool acquire would otherwise re-insert a session for a removed graph
+// that no future request can ever hit (a leak until LRU pressure). Seeing
+// the graph gone after the acquire, it invalidates the fresh entry and
+// reports not-found.
+func (s *Server) acquireChecked(ctx context.Context, id string, g *kplist.Graph) (*kplist.Session, func(), error) {
+	sess, release, err := s.pool.Acquire(ctx, id, g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := s.reg.Get(id); err != nil {
+		release()
+		s.pool.Invalidate(id)
+		return nil, nil, err
+	}
+	return sess, release, nil
+}
+
+// streamFlushEvery is how many NDJSON lines go out between flushes: large
+// enough to amortize syscalls, small enough that a slow consumer of a
+// million-clique result never forces the server to buffer more than one
+// chunk.
+const streamFlushEvery = 1024
+
+func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rg, err := s.reg.Get(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	qv := r.URL.Query()
+	p, err := strconv.Atoi(qv.Get("p"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad or missing p: %q", qv.Get("p")))
+		return
+	}
+	var seed int64
+	if sv := qv.Get("seed"); sv != "" {
+		seed, err = strconv.ParseInt(sv, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed: %q", sv))
+			return
+		}
+	}
+	q := kplist.Query{P: p, Algo: kplist.Algorithm(qv.Get("algo")), Seed: seed}
+
+	sess, release, err := s.acquireChecked(r.Context(), id, rg.G)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer release()
+	res, err := sess.QueryContext(r.Context(), q)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	w.Header().Set("X-Kplist-Clique-Count", strconv.Itoa(len(res.Cliques)))
+	w.Header().Set("X-Kplist-Rounds", strconv.FormatInt(res.Rounds, 10))
+	w.Header().Set("X-Kplist-Messages", strconv.FormatInt(res.Messages, 10))
+	if qv.Get("stream") == "0" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph": id, "p": p, "count": len(res.Cliques),
+			"rounds": res.Rounds, "messages": res.Messages,
+			"cliques": res.Cliques,
+		})
+		return
+	}
+
+	// NDJSON: one clique per line in the result's lexicographic order, so
+	// the byte stream is deterministic and never materialized whole — the
+	// buffered writer flushes every streamFlushEvery lines.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	flusher, _ := w.(http.Flusher)
+	for i, c := range res.Cliques {
+		line, err := json.Marshal(c)
+		if err != nil {
+			return // headers sent; nothing recoverable
+		}
+		if _, err := bw.Write(line); err != nil {
+			return
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return
+		}
+		if (i+1)%streamFlushEvery == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	_ = bw.Flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ps := s.pool.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"graphs":        s.reg.Len(),
+		"openSessions":  ps.Open,
+		"uptimeSeconds": int64(time.Since(s.met.started).Seconds()),
+	})
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the load-shedding front door: at most inFlight requests
+// execute concurrently, at most queueLimit more wait for a slot, and
+// everything beyond that is shed with a 429 immediately — the server
+// prefers a fast honest "no" over unbounded queueing. A queued request
+// whose deadline expires before a slot frees leaves with 503, so queue
+// time is bounded by the per-request deadline.
+type admission struct {
+	queueLimit int64
+	slots      chan struct{}
+	waiting    atomic.Int64
+	shed       atomic.Int64
+	timedOut   atomic.Int64
+}
+
+func newAdmission(inFlight, queueLimit int) *admission {
+	return &admission{
+		queueLimit: int64(queueLimit),
+		slots:      make(chan struct{}, inFlight),
+	}
+}
+
+// admit wraps h with the accept-queue discipline.
+func (a *admission) admit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Fast path: a free execution slot admits immediately and never
+		// counts against the queue, so a burst onto an idle server is
+		// admitted up to MaxInFlight before any queue accounting starts.
+		select {
+		case a.slots <- struct{}{}:
+			defer func() { <-a.slots }()
+			h.ServeHTTP(w, r)
+			return
+		default:
+		}
+		if a.waiting.Add(1) > a.queueLimit {
+			a.waiting.Add(-1)
+			a.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: accept queue full", http.StatusTooManyRequests)
+			return
+		}
+		select {
+		case a.slots <- struct{}{}:
+			a.waiting.Add(-1)
+			defer func() { <-a.slots }()
+			h.ServeHTTP(w, r)
+		case <-r.Context().Done():
+			a.waiting.Add(-1)
+			a.timedOut.Add(1)
+			http.Error(w, "deadline exceeded while queued", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// withDeadline attaches the per-request execution deadline: the
+// ?deadline_ms= override clamped to [1ms, max], else def. The deadline
+// covers queueing and execution, and cancellation propagates through
+// Session.QueryContext into the engine round loops.
+func withDeadline(def, max time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := def
+		if s := r.URL.Query().Get("deadline_ms"); s != "" {
+			ms, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || ms < 1 {
+				http.Error(w, "bad deadline_ms", http.StatusBadRequest)
+				return
+			}
+			// Clamp before converting: ms·Millisecond overflows int64 for
+			// huge values, and a negative duration would expire instantly.
+			if ms > int64(max/time.Millisecond) {
+				d = max
+			} else {
+				d = time.Duration(ms) * time.Millisecond
+			}
+		}
+		if d > max {
+			d = max
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds.
+var latencyBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+type histogram struct {
+	buckets []int64 // len(latencyBounds)+1, last = +Inf
+	sum     float64
+	count   int64
+}
+
+func (h *histogram) observe(sec float64) {
+	i := sort.SearchFloat64s(latencyBounds, sec)
+	h.buckets[i]++
+	h.sum += sec
+	h.count++
+}
+
+// metrics is the per-endpoint observability store rendered by /metrics in
+// the Prometheus text exposition format (hand-rolled — no dependency).
+type metrics struct {
+	started time.Time
+
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // route → status → count
+	latency  map[string]*histogram    // route → latency histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		started:  time.Now(),
+		requests: make(map[string]map[int]int64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+func (m *metrics) record(route string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.requests[route]
+	if !ok {
+		byStatus = make(map[int]int64)
+		m.requests[route] = byStatus
+	}
+	byStatus[status]++
+	h, ok := m.latency[route]
+	if !ok {
+		h = &histogram{buckets: make([]int64, len(latencyBounds)+1)}
+		m.latency[route] = h
+	}
+	h.observe(elapsed.Seconds())
+}
+
+// statusWriter captures the response status while passing Flush through —
+// the NDJSON streaming path needs the flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument records per-route counters and latency around h.
+func (m *metrics) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.record(route, sw.status, time.Since(start))
+	})
+}
+
+// render writes the Prometheus text exposition. Server-level gauges
+// (pool occupancy, registry size, admission counters) are sampled by the
+// caller and passed in so the metrics store stays free of server wiring.
+func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
+	fmt.Fprintf(w, "# TYPE kplistd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "kplistd_uptime_seconds %.3f\n", time.Since(m.started).Seconds())
+
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name])
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes := make([]string, 0, len(m.requests))
+	for route := range m.requests {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(w, "# TYPE kplistd_requests_total counter\n")
+	for _, route := range routes {
+		statuses := make([]int, 0, len(m.requests[route]))
+		for st := range m.requests[route] {
+			statuses = append(statuses, st)
+		}
+		sort.Ints(statuses)
+		for _, st := range statuses {
+			fmt.Fprintf(w, "kplistd_requests_total{route=%q,status=\"%d\"} %d\n",
+				route, st, m.requests[route][st])
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE kplistd_request_duration_seconds histogram\n")
+	for _, route := range routes {
+		h := m.latency[route]
+		var cum int64
+		for i, bound := range latencyBounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "kplistd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n",
+				route, bound, cum)
+		}
+		cum += h.buckets[len(latencyBounds)]
+		fmt.Fprintf(w, "kplistd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(w, "kplistd_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(w, "kplistd_request_duration_seconds_count{route=%q} %d\n", route, h.count)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"kplist"
+)
+
+// Config sizes the serving layer. Zero values take the documented
+// defaults, so Config{} is a working single-host configuration.
+type Config struct {
+	// MaxGraphs bounds the registry (default 64). Registration beyond it
+	// fails with 409 — graphs are tenant state and are never silently
+	// dropped.
+	MaxGraphs int
+	// PoolSize bounds the LRU pool of open sessions (default 8): the
+	// resident preprocessed working set.
+	PoolSize int
+	// Session configures every pooled session (per-session scheduler
+	// bound, Verify, PruneByDegeneracy).
+	Session kplist.SessionConfig
+	// MaxInFlight bounds concurrently executing requests (default
+	// 2·GOMAXPROCS); QueueLimit bounds how many more may wait for a slot
+	// (default 64). Beyond both, requests shed with 429.
+	MaxInFlight int
+	QueueLimit  int
+	// DefaultDeadline caps each admitted request's queue+execution time
+	// (default 30s); ?deadline_ms= overrides per request, clamped to
+	// MaxDeadline (default 2m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxUploadN and MaxUploadEdges bound registered graphs — uploaded
+	// edge lists directly, generated workloads via the spec's expected
+	// edge count (defaults 1<<20 vertices, 1<<23 edges); MaxBodyBytes
+	// bounds the request body (default 256 MiB); MaxBatchQueries bounds
+	// one query request's batch length (default 1024).
+	MaxUploadN      int
+	MaxUploadEdges  int
+	MaxBodyBytes    int64
+	MaxBatchQueries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 64
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.MaxUploadN <= 0 {
+		c.MaxUploadN = 1 << 20
+	}
+	if c.MaxUploadEdges <= 0 {
+		c.MaxUploadEdges = 1 << 23
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	if c.MaxBatchQueries <= 0 {
+		c.MaxBatchQueries = 1024
+	}
+	return c
+}
+
+// Server is the kplistd serving layer: registry + session pool + handlers
+// behind admission control and instrumentation. Create with New, mount
+// via Handler.
+type Server struct {
+	cfg  Config
+	reg  *Registry
+	pool *SessionPool
+	adm  *admission
+	met  *metrics
+	mux  *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		reg:  NewRegistry(cfg.MaxGraphs),
+		pool: NewSessionPool(cfg.PoolSize, cfg.Session),
+		adm:  newAdmission(cfg.MaxInFlight, cfg.QueueLimit),
+		met:  newMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	// Health and metrics bypass admission: they must answer precisely
+	// when the serving path is saturated.
+	s.route("GET /healthz", http.HandlerFunc(s.handleHealthz), false)
+	s.route("GET /metrics", http.HandlerFunc(s.handleMetrics), false)
+	s.route("POST /v1/graphs", http.HandlerFunc(s.handleRegister), true)
+	s.route("GET /v1/graphs", http.HandlerFunc(s.handleList), true)
+	s.route("GET /v1/graphs/{id}", http.HandlerFunc(s.handleGet), true)
+	s.route("DELETE /v1/graphs/{id}", http.HandlerFunc(s.handleDelete), true)
+	s.route("POST /v1/graphs/{id}/query", http.HandlerFunc(s.handleQuery), true)
+	s.route("GET /v1/graphs/{id}/cliques", http.HandlerFunc(s.handleCliques), true)
+	return s
+}
+
+// route mounts h at pattern with instrumentation, and (when admitted) the
+// deadline + accept-queue middleware. The pattern string doubles as the
+// metrics route label.
+func (s *Server) route(pattern string, h http.Handler, admitted bool) {
+	if admitted {
+		h = withDeadline(s.cfg.DefaultDeadline, s.cfg.MaxDeadline, s.adm.admit(h))
+	}
+	s.mux.Handle(pattern, s.met.instrument(pattern, h))
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the session pool (experiments and tests inspect it).
+func (s *Server) Pool() *SessionPool { return s.pool }
+
+// Registry exposes the graph registry (experiments and tests inspect it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// gauges samples the server-level gauges rendered by /metrics.
+func (s *Server) gauges() map[string]float64 {
+	ps := s.pool.Stats()
+	return map[string]float64{
+		"kplistd_graphs":                      float64(s.reg.Len()),
+		"kplistd_pool_capacity":               float64(s.cfg.PoolSize),
+		"kplistd_pool_open_sessions":          float64(ps.Open),
+		"kplistd_pool_hits_total":             float64(ps.Hits),
+		"kplistd_pool_misses_total":           float64(ps.Misses),
+		"kplistd_pool_evictions_total":        float64(ps.Evictions),
+		"kplistd_session_queries_total":       float64(ps.SessionQueries),
+		"kplistd_session_cache_hits_total":    float64(ps.SessionHits),
+		"kplistd_session_cache_misses_total":  float64(ps.SessionMisses),
+		"kplistd_admission_shed_total":        float64(s.adm.shed.Load()),
+		"kplistd_admission_queue_timeouts":    float64(s.adm.timedOut.Load()),
+		"kplistd_admission_waiting":           float64(s.adm.waiting.Load()),
+		"kplistd_admission_inflight_capacity": float64(s.cfg.MaxInFlight),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.met.render(&b, s.gauges())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -16,6 +16,7 @@
 package sparselist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -32,6 +33,11 @@ import (
 
 // Input is the listing problem handed to the sparsity-aware algorithm.
 type Input struct {
+	// Ctx, when non-nil, is polled at the phase boundaries of the
+	// standalone congested-clique run (before orientation, after the
+	// partition, before the listing step) so a cancelled run stops within
+	// one phase of work. nil means no cancellation.
+	Ctx context.Context
 	// N is the number of vertices in the underlying graph (part choices
 	// are drawn for every vertex).
 	N int
@@ -94,6 +100,9 @@ func CongestedClique(in Input, padToLemma27 bool, cm congest.CostModel, ledger *
 	t := partition.PartsForListing(k, in.P)
 	rng := rand.New(rand.NewSource(in.Seed))
 
+	if err := congest.CtxErr(in.Ctx); err != nil {
+		return nil, err
+	}
 	orient := in.Orient
 	if orient == nil {
 		g, err := in.Edges.Graph(in.N)
@@ -115,6 +124,9 @@ func CongestedClique(in Input, padToLemma27 bool, cm congest.CostModel, ledger *
 		return nil, fmt.Errorf("sparselist: %w", err)
 	}
 
+	if err := congest.CtxErr(in.Ctx); err != nil {
+		return nil, err
+	}
 	res, err := runListing(in.P, edges[:realCount], edges[realCount:], part, asg,
 		func(e graph.Edge) int32 {
 			// In the congested clique, the listing node hosting an edge is
@@ -379,7 +391,13 @@ func padFakeEdges(n, p int, edges graph.EdgeList, rng *rand.Rand) graph.EdgeList
 // clique is checked against g). workers follows Input.Workers semantics
 // (0 = GOMAXPROCS; identical output for every value).
 func CongestedCliqueOnGraph(g *graph.Graph, p int, seed int64, workers int, cm congest.CostModel, ledger *congest.Ledger) (*Result, error) {
-	in := Input{N: g.N(), P: p, Edges: graph.NewEdgeList(g.Edges()), Seed: seed, Workers: workers}
+	return CongestedCliqueOnGraphCtx(nil, g, p, seed, workers, cm, ledger)
+}
+
+// CongestedCliqueOnGraphCtx is CongestedCliqueOnGraph under an optional
+// context (nil means no cancellation); see Input.Ctx for the poll points.
+func CongestedCliqueOnGraphCtx(ctx context.Context, g *graph.Graph, p int, seed int64, workers int, cm congest.CostModel, ledger *congest.Ledger) (*Result, error) {
+	in := Input{Ctx: ctx, N: g.N(), P: p, Edges: graph.NewEdgeList(g.Edges()), Seed: seed, Workers: workers}
 	res, err := CongestedClique(in, false, cm, ledger)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,11 @@ import (
 
 	"kplist/internal/graph"
 )
+
+// ErrUnknownFamily reports a Spec.Family outside the registered set.
+// Generate wraps it, so callers branch with errors.Is — the serving layer
+// maps it to a 4xx while everything else stays a 5xx.
+var ErrUnknownFamily = errors.New("workload: unknown family")
 
 // Family names accepted by Generate. Families() returns them in a stable
 // order.
@@ -51,43 +57,45 @@ func Families() []string {
 
 // Spec selects and sizes one workload instance. Zero-valued knobs take the
 // family defaults documented on each field; every generator is a pure
-// function of the Spec (same Spec, same graph).
+// function of the Spec (same Spec, same graph). The json tags are the wire
+// format the kplistd serving layer accepts for generate-on-register.
 type Spec struct {
 	// Family is one of the Family* constants.
-	Family string
+	Family string `json:"family"`
 	// N is the number of vertices (the grid family may leave a remainder
 	// of isolated vertices so N is always honored exactly).
-	N int
+	N int `json:"n"`
 	// Seed drives all randomness.
-	Seed int64
+	Seed int64 `json:"seed"`
 
 	// Attach is the edges each new vertex brings in barabasi-albert
 	// (default 4). It upper-bounds the degeneracy.
-	Attach int
+	Attach int `json:"attach,omitempty"`
 	// Degeneracy is the max back-degree in bounded-degeneracy (default 3).
-	Degeneracy int
+	Degeneracy int `json:"degeneracy,omitempty"`
 	// Diagonal adds one diagonal per grid cell, creating triangles while
 	// keeping degeneracy ≤ 3.
-	Diagonal bool
+	Diagonal bool `json:"diagonal,omitempty"`
 	// CliqueSize is k for planted-clique (default 5).
-	CliqueSize int
+	CliqueSize int `json:"cliqueSize,omitempty"`
 	// CliqueCount is the number of planted cliques (default max(1, N/(8k))).
-	CliqueCount int
+	CliqueCount int `json:"cliqueCount,omitempty"`
 	// Background is the noise edge probability for planted-clique (default
 	// 0.05) and the cross-side probability for bipartite (default 0.3).
 	// Probabilities follow the zero-value-is-default convention, so a
 	// negative value requests an explicit 0 (e.g. Background: -1 plants
 	// cliques with no noise at all); normalized Specs record that request
 	// canonically as -1 so regeneration is idempotent.
-	Background float64
+	Background float64 `json:"background,omitempty"`
 	// Blocks is the community count for stochastic-block (default 4).
-	Blocks int
+	Blocks int `json:"blocks,omitempty"`
 	// PIn and POut are the stochastic-block densities inside and across
 	// blocks (defaults 0.25 and 0.02; negative = explicit 0, as above).
-	PIn, POut float64
+	PIn  float64 `json:"pIn,omitempty"`
+	POut float64 `json:"pOut,omitempty"`
 	// EdgeFactor scales the Kronecker edge budget to EdgeFactor·N
 	// (default 8).
-	EdgeFactor int
+	EdgeFactor int `json:"edgeFactor,omitempty"`
 }
 
 // Properties are the structural guarantees an Instance ships with; tests
@@ -182,6 +190,48 @@ func effProb(p float64) float64 {
 	return p
 }
 
+// EstimatedEdges returns the expected edge count of the graph spec would
+// generate (after normalization), without generating it. The serving
+// layer uses it as an admission bound: generation cost is Θ(edges), so
+// rejecting specs whose estimate exceeds the upload limit prevents a
+// generate-on-register request from allocating unboundedly. Unknown
+// families report ErrUnknownFamily.
+func (s Spec) EstimatedEdges() (int64, error) {
+	s, err := s.normalize()
+	if err != nil {
+		return 0, err
+	}
+	n := float64(s.N)
+	var est float64
+	switch s.Family {
+	case FamilyBarabasiAlbert:
+		a := float64(s.Attach)
+		est = a*(a+1)/2 + n*a
+	case FamilyBipartite:
+		est = effProb(s.Background) * (n / 2) * (n / 2)
+	case FamilyBoundedDegeneracy:
+		est = n * float64(s.Degeneracy)
+	case FamilyGrid:
+		est = 3 * n
+	case FamilyKronecker:
+		est = float64(s.EdgeFactor) * n
+	case FamilyPlantedClique:
+		k := float64(s.CliqueSize)
+		est = effProb(s.Background)*n*(n-1)/2 + float64(s.CliqueCount)*k*(k-1)/2
+	case FamilyStochasticBlock:
+		b := float64(s.Blocks)
+		inPairs := b * (n / b) * (n/b - 1) / 2
+		crossPairs := n*(n-1)/2 - inPairs
+		est = effProb(s.PIn)*inPairs + effProb(s.POut)*crossPairs
+	default:
+		return 0, fmt.Errorf("%w %q (known: %v)", ErrUnknownFamily, s.Family, Families())
+	}
+	if est > math.MaxInt64/2 {
+		return math.MaxInt64 / 2, nil
+	}
+	return int64(est), nil
+}
+
 // Generate builds the workload instance described by spec. It is
 // deterministic: the same spec always yields the same graph. Invalid specs
 // (unknown family, probabilities outside [0,1], more planted vertices than
@@ -229,7 +279,7 @@ func Generate(spec Spec) (*Instance, error) {
 	case FamilyStochasticBlock:
 		inst.G = stochasticBlock(spec.N, spec.Blocks, effProb(spec.PIn), effProb(spec.POut), rng)
 	default:
-		return nil, fmt.Errorf("workload: unknown family %q (known: %v)", spec.Family, Families())
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknownFamily, spec.Family, Families())
 	}
 	return inst, nil
 }

@@ -34,9 +34,17 @@
 // families (power-law, planted cliques, bipartite, stochastic block,
 // Kronecker, grids) with guaranteed structural properties — see
 // DESIGN.md §6.
+//
+// Session.QueryContext threads a context into the engine run loops
+// (cancellation is honored between engine rounds), and request-level
+// failures wrap the typed sentinels ErrInvalidQuery, ErrUnknownEngine,
+// ErrUnknownFamily and ErrSessionClosed. cmd/kplistd serves all of this
+// over HTTP — multi-tenant registry, LRU session pool, admission control,
+// NDJSON streaming — see DESIGN.md §7.
 package kplist
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -156,11 +164,18 @@ func newResult(set CliqueSet, ledger *congest.Ledger) *Result {
 // set (p must be 4). The result's Rounds follow the Õ(n^{3/4} + n^{p/(p+2)})
 // (resp. Õ(n^{2/3})) bill.
 func ListCONGEST(g *Graph, p int, opt Options) (*Result, error) {
+	return listCONGESTContext(context.Background(), g, p, opt)
+}
+
+// listCONGESTContext is ListCONGEST under a context; the Session serving
+// path uses it so cancelled queries stop between engine rounds.
+func listCONGESTContext(ctx context.Context, g *Graph, p int, opt Options) (*Result, error) {
 	if p < 4 {
-		return nil, fmt.Errorf("kplist: ListCONGEST requires p ≥ 4 (Theorem 1.1); use ListCongestedClique or ListBroadcast for p = 3")
+		return nil, fmt.Errorf("%w: ListCONGEST requires p ≥ 4 (Theorem 1.1); use ListCongestedClique or ListBroadcast for p = 3", ErrInvalidQuery)
 	}
 	var ledger congest.Ledger
 	res, err := core.ListCliques(g, core.Params{
+		Ctx:           ctx,
 		P:             p,
 		FastK4:        opt.FastK4,
 		Seed:          opt.Seed,
@@ -181,8 +196,12 @@ func ListCONGEST(g *Graph, p int, opt Options) (*Result, error) {
 // using the sparsity-aware algorithm of Theorem 1.3: Θ̃(1 + m/n^{1+2/p})
 // rounds, for every p ≥ 3.
 func ListCongestedClique(g *Graph, p int, opt Options) (*Result, error) {
+	return listCongestedCliqueContext(context.Background(), g, p, opt)
+}
+
+func listCongestedCliqueContext(ctx context.Context, g *Graph, p int, opt Options) (*Result, error) {
 	var ledger congest.Ledger
-	res, err := sparselist.CongestedCliqueOnGraph(g, p, opt.Seed, opt.Workers, opt.costModel(), &ledger)
+	res, err := sparselist.CongestedCliqueOnGraphCtx(ctx, g, p, opt.Seed, opt.Workers, opt.costModel(), &ledger)
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +212,15 @@ func ListCongestedClique(g *Graph, p int, opt Options) (*Result, error) {
 // algorithm (Remark 2.6) — the baseline every sub-linear result is
 // measured against.
 func ListBroadcast(g *Graph, p int, opt Options) (*Result, error) {
+	return listBroadcastContext(context.Background(), g, p, opt)
+}
+
+func listBroadcastContext(ctx context.Context, g *Graph, p int, opt Options) (*Result, error) {
+	// The broadcast baseline is a single round-batch (broadcast + local
+	// enumeration), so the only cancellation point is before it starts.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var ledger congest.Ledger
 	set, err := baseline.BroadcastListGraph(g, p, opt.costModel(), &ledger)
 	if err != nil {

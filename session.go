@@ -1,9 +1,12 @@
 package kplist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kplist/internal/graph"
 )
@@ -21,6 +24,12 @@ const (
 	// AlgoBroadcast is the trivial Θ̃(n) baseline (Remark 2.6).
 	AlgoBroadcast Algorithm = "broadcast"
 )
+
+// Algorithms returns the engine names a Query.Algo accepts, in stable
+// order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoCONGEST, AlgoFastK4, AlgoCongestedClique, AlgoBroadcast}
+}
 
 // Query is one listing request against a Session's graph. The zero value
 // of Algo is normalized to AlgoCongestedClique for p = 3 and AlgoCONGEST
@@ -57,17 +66,36 @@ type SessionConfig struct {
 	// phase already paid for the peel). Off by default because the skipped
 	// bill makes round measurements incomparable across p.
 	PruneByDegeneracy bool
+	// MaxCachedResults bounds the keyed result cache: beyond it the
+	// oldest completed results are evicted (insertion order; in-flight
+	// executions are never evicted). 0 means the default 256; negative
+	// means unbounded. The bound is what keeps a session serving
+	// untrusted queries (distinct seeds are distinct cache keys) at
+	// bounded memory.
+	MaxCachedResults int
 }
 
 // SessionStats is a snapshot of a Session's serving counters.
 type SessionStats struct {
 	// Queries is the total number of Query/QueryBatch requests served.
 	Queries int64
-	// Hits are requests answered from the cache or coalesced onto an
-	// identical in-flight execution; Misses are fresh executions. Pruned
-	// counts degeneracy short-circuits (a subset of Misses).
+	// Hits are requests served a result from the cache or from a
+	// coalesced in-flight execution; Misses are fresh executions. Pruned
+	// counts degeneracy short-circuits (a subset of Misses). A request
+	// that coalesces but comes back empty-handed (its own cancellation,
+	// or the execution it joined failed) counts in neither, so
+	// Hits+Misses ≤ Queries with the gap being the failures.
 	Hits, Misses, Pruned int64
-	// Unique is the number of distinct normalized queries seen.
+	// Cancelled counts requests that returned early on their context —
+	// while waiting for a coalesced execution, waiting for a scheduler
+	// slot, or mid-execution between engine rounds.
+	Cancelled int64
+	// Evicted counts completed results dropped by the MaxCachedResults
+	// bound.
+	Evicted int64
+	// Unique is the number of distinct normalized queries currently cached
+	// or in flight. Failed executions (including cancellations) are not
+	// cached and the cache is bounded, so Unique can shrink.
 	Unique int
 	// PeakConcurrent is the highest number of simultaneously executing
 	// queries observed (≤ MaxConcurrent).
@@ -90,9 +118,13 @@ type Session struct {
 
 	mu      sync.Mutex
 	entries map[Query]*sessionEntry
-	stats   SessionStats
-	active  int
-	closed  bool
+	// order tracks cache keys in insertion order for the
+	// MaxCachedResults eviction walk; it may hold stale keys of failed
+	// executions, compacted lazily.
+	order  []Query
+	stats  SessionStats
+	active int
+	closed bool
 
 	degen *graph.DegeneracyResult
 
@@ -118,6 +150,9 @@ func NewSession(g *Graph, cfg SessionConfig) *Session {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxCachedResults == 0 {
+		cfg.MaxCachedResults = 256
+	}
 	return &Session{
 		g:       g,
 		cfg:     cfg,
@@ -136,6 +171,8 @@ func (s *Session) Graph() *Graph { return s.g }
 func (s *Session) Degeneracy() int { return s.degen.Degeneracy }
 
 // normalize applies the Algo defaulting rule and validates the query.
+// Domain violations wrap ErrInvalidQuery; unrecognized engines wrap
+// ErrUnknownEngine.
 func (s *Session) normalize(q Query) (Query, error) {
 	if q.Algo == "" {
 		if q.P == 3 {
@@ -147,46 +184,98 @@ func (s *Session) normalize(q Query) (Query, error) {
 	switch q.Algo {
 	case AlgoCONGEST:
 		if q.P < 4 {
-			return q, fmt.Errorf("kplist: %s requires p ≥ 4, got %d", q.Algo, q.P)
+			return q, fmt.Errorf("%w: %s requires p ≥ 4, got %d", ErrInvalidQuery, q.Algo, q.P)
 		}
 	case AlgoFastK4:
 		if q.P != 4 {
-			return q, fmt.Errorf("kplist: %s requires p = 4, got %d", q.Algo, q.P)
+			return q, fmt.Errorf("%w: %s requires p = 4, got %d", ErrInvalidQuery, q.Algo, q.P)
 		}
 	case AlgoCongestedClique, AlgoBroadcast:
 		if q.P < 3 {
-			return q, fmt.Errorf("kplist: %s requires p ≥ 3, got %d", q.Algo, q.P)
+			return q, fmt.Errorf("%w: %s requires p ≥ 3, got %d", ErrInvalidQuery, q.Algo, q.P)
 		}
 	default:
-		return q, fmt.Errorf("kplist: unknown algorithm %q", q.Algo)
+		return q, fmt.Errorf("%w %q (known: %v)", ErrUnknownEngine, q.Algo, Algorithms())
 	}
 	return q, nil
 }
 
 // Query serves one listing request, returning the cached result when an
-// identical (normalized) query has already run or is in flight.
+// identical (normalized) query has already run or is in flight. It is
+// QueryContext with a background context.
 func (s *Session) Query(q Query) (*Result, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query under a context: cancellation is honored while
+// waiting for a coalesced execution, while queued for a scheduler slot,
+// and between engine rounds once running, so a cancelled request stops
+// burning CPU promptly and its scheduler slot frees. Only successful
+// executions are cached — a failed or cancelled execution is forgotten, so
+// the session stays fully reusable afterwards. A request that coalesced
+// onto an execution cancelled by a *different* requester retries
+// automatically while its own context is live, so one client's deadline
+// never surfaces as another client's error.
+func (s *Session) QueryContext(ctx context.Context, q Query) (*Result, error) {
 	q, err := s.normalize(q)
 	if err != nil {
 		return nil, err
 	}
 	key := q
 	key.Workers = 0 // not part of the query identity (see Query.Workers)
+	counted := false
+	for {
+		res, err, retry := s.serveOnce(ctx, key, q, &counted)
+		if retry {
+			continue
+		}
+		return res, err
+	}
+}
+
+// serveOnce runs one pass of the serve loop: join an existing entry or
+// create and execute one. retry means the joined execution was cancelled
+// by its own requester while this request is still live.
+func (s *Session) serveOnce(ctx context.Context, key, q Query, counted *bool) (res *Result, err error, retry bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("kplist: session is closed")
+		return nil, ErrSessionClosed, false
 	}
-	s.stats.Queries++
+	if !*counted {
+		s.stats.Queries++
+		*counted = true
+	}
 	if e, ok := s.entries[key]; ok {
-		s.stats.Hits++
 		s.mu.Unlock()
-		<-e.done
-		return e.res, e.err
+		// A completed entry wins over an expired context (select between
+		// two ready channels picks randomly): cached answers stay free.
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			select {
+			case <-e.done:
+			default:
+				s.noteCancelled()
+				return nil, ctx.Err(), false
+			}
+		}
+		if e.err == nil {
+			s.mu.Lock()
+			s.stats.Hits++
+			s.mu.Unlock()
+			return e.res, nil, false
+		}
+		if isCtxErr(e.err) && ctx.Err() == nil {
+			return nil, nil, true
+		}
+		return nil, e.err, false
 	}
 	e := &sessionEntry{done: make(chan struct{})}
 	s.entries[key] = e
+	s.order = append(s.order, key)
 	s.stats.Misses++
+	s.evictCacheOverflowLocked()
 	s.stats.Unique = len(s.entries)
 	pruned := s.cfg.PruneByDegeneracy && q.P > s.degen.Degeneracy+1
 	if pruned {
@@ -196,25 +285,94 @@ func (s *Session) Query(q Query) (*Result, error) {
 
 	if pruned {
 		e.res, e.err = &Result{Cliques: []Clique{}}, nil
-	} else {
-		s.sem <- struct{}{}
-		s.mu.Lock()
-		s.active++
-		if s.active > s.stats.PeakConcurrent {
-			s.stats.PeakConcurrent = s.active
-		}
-		s.mu.Unlock()
-		e.res, e.err = s.run(q)
-		s.mu.Lock()
-		s.active--
-		s.mu.Unlock()
-		<-s.sem
+		close(e.done)
+		return e.res, e.err, false
 	}
-	close(e.done)
-	return e.res, e.err
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finishEntry(key, e, nil, ctx.Err())
+		return e.res, e.err, false
+	}
+	s.mu.Lock()
+	s.active++
+	if s.active > s.stats.PeakConcurrent {
+		s.stats.PeakConcurrent = s.active
+	}
+	s.mu.Unlock()
+	runRes, runErr := s.run(ctx, q)
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+	<-s.sem
+	s.finishEntry(key, e, runRes, runErr)
+	return e.res, e.err, false
 }
 
-func (s *Session) run(q Query) (*Result, error) {
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// finishEntry publishes an execution outcome to every coalesced waiter.
+// Failures (including cancellations) are evicted from the cache before
+// publication so the next identical query re-executes.
+func (s *Session) finishEntry(key Query, e *sessionEntry, res *Result, err error) {
+	e.res, e.err = res, err
+	if err != nil {
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.stats.Unique = len(s.entries)
+		if isCtxErr(err) {
+			s.stats.Cancelled++
+		}
+		s.mu.Unlock()
+	}
+	close(e.done)
+}
+
+// evictCacheOverflowLocked enforces MaxCachedResults: walk the insertion
+// order, dropping stale keys (failed executions already removed from the
+// map) and evicting the oldest completed results until the cache fits.
+// In-flight executions are never evicted. The walk also runs when the
+// order slice has accumulated far more stale keys than live entries, so
+// repeated failures cannot grow it unboundedly.
+func (s *Session) evictCacheOverflowLocked() {
+	limit := s.cfg.MaxCachedResults
+	over := limit >= 0 && len(s.entries) > limit
+	if !over && len(s.order) <= 2*len(s.entries)+64 {
+		return
+	}
+	keep := s.order[:0]
+	for _, key := range s.order {
+		e, ok := s.entries[key]
+		if !ok {
+			continue // stale: the execution failed and was removed
+		}
+		if limit >= 0 && len(s.entries) > limit {
+			select {
+			case <-e.done:
+				delete(s.entries, key)
+				s.stats.Evicted++
+				continue
+			default: // in flight — keep
+			}
+		}
+		keep = append(keep, key)
+	}
+	s.order = keep
+}
+
+func (s *Session) noteCancelled() {
+	s.mu.Lock()
+	s.stats.Cancelled++
+	s.mu.Unlock()
+}
+
+func (s *Session) run(ctx context.Context, q Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opt := Options{
 		Seed:          q.Seed,
 		Workers:       q.Workers,
@@ -227,14 +385,14 @@ func (s *Session) run(q Query) (*Result, error) {
 	)
 	switch q.Algo {
 	case AlgoCONGEST:
-		res, err = ListCONGEST(s.g, q.P, opt)
+		res, err = listCONGESTContext(ctx, s.g, q.P, opt)
 	case AlgoFastK4:
 		opt.FastK4 = true
-		res, err = ListCONGEST(s.g, q.P, opt)
+		res, err = listCONGESTContext(ctx, s.g, q.P, opt)
 	case AlgoCongestedClique:
-		res, err = ListCongestedClique(s.g, q.P, opt)
+		res, err = listCongestedCliqueContext(ctx, s.g, q.P, opt)
 	case AlgoBroadcast:
-		res, err = ListBroadcast(s.g, q.P, opt)
+		res, err = listBroadcastContext(ctx, s.g, q.P, opt)
 	}
 	if err != nil {
 		return nil, err
@@ -279,15 +437,38 @@ type BatchResult struct {
 // scheduler and returns outcomes aligned with the input order. Duplicate
 // queries within the batch coalesce onto a single execution.
 func (s *Session) QueryBatch(qs []Query) []BatchResult {
+	return s.QueryBatchContext(context.Background(), qs)
+}
+
+// QueryBatchContext is QueryBatch under a context shared by every query of
+// the batch; see QueryContext for the cancellation points. The batch runs
+// on a bounded worker pool (a little wider than the execution scheduler so
+// coalesced waiters never starve executors), not one goroutine per query,
+// so an arbitrarily long batch cannot exhaust host memory on stacks.
+func (s *Session) QueryBatchContext(ctx context.Context, qs []Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
+	workers := 2 * s.cfg.MaxConcurrent
+	if workers < 8 {
+		workers = 8
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(len(qs))
-	for i := range qs {
-		go func(i int) {
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
 			defer wg.Done()
-			res, err := s.Query(qs[i])
-			out[i] = BatchResult{Query: qs[i], Result: res, Err: err}
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				res, err := s.QueryContext(ctx, qs[i])
+				out[i] = BatchResult{Query: qs[i], Result: res, Err: err}
+			}
+		}()
 	}
 	wg.Wait()
 	return out
@@ -300,9 +481,11 @@ func (s *Session) Stats() SessionStats {
 	return s.stats
 }
 
-// Close marks the session closed: subsequent queries fail, in-flight
-// queries complete normally. Closing is optional — a Session holds no
-// resources beyond memory — but stops accidental use-after-serve.
+// Close marks the session closed: subsequent queries fail with
+// ErrSessionClosed, in-flight queries complete normally. Close is
+// idempotent and safe to call concurrently with queries and other Close
+// calls. Closing is optional — a Session holds no resources beyond
+// memory — but stops accidental use-after-serve.
 func (s *Session) Close() {
 	s.mu.Lock()
 	s.closed = true

@@ -1,8 +1,11 @@
 package kplist_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"kplist"
 	"kplist/internal/workload"
@@ -248,5 +251,197 @@ func TestSessionSchedulerBound(t *testing.T) {
 	}
 	if st.Misses != 24 {
 		t.Errorf("distinct seeds must all execute: misses=%d", st.Misses)
+	}
+}
+
+// TestSessionQueryContextCancellation is the acceptance check for the
+// context plumbing: an already-cancelled context returns promptly without
+// executing any engine round, and the session stays fully reusable — the
+// cancellation is not cached, so the identical query then executes and
+// answers exactly.
+func TestSessionQueryContextCancellation(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := s.QueryContext(ctx, kplist.Query{P: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancelled query took %v, want prompt return", d)
+	}
+	if st := s.Stats(); st.Cancelled == 0 {
+		t.Errorf("cancellation not counted: %+v", st)
+	}
+
+	// The cancellation must not poison the cache: the same query now runs.
+	res, err := s.Query(kplist.Query{P: 4})
+	if err != nil {
+		t.Fatalf("session not reusable after cancellation: %v", err)
+	}
+	if err := kplist.Verify(g, 4, res.Cliques); err != nil {
+		t.Fatal(err)
+	}
+	// And a live deadline long enough for the run succeeds too.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if _, err := s.QueryContext(ctx2, kplist.Query{P: 4, Seed: 3}); err != nil {
+		t.Fatalf("live-context query failed: %v", err)
+	}
+}
+
+// TestSessionQueryContextMidRun cancels while an execution is in flight:
+// the engine must notice between rounds and return the context error, and
+// the entry must be evicted so a retry succeeds.
+func TestSessionQueryContextMidRun(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.QueryContext(ctx, kplist.Query{P: 4})
+		done <- err
+	}()
+	cancel()
+	err := <-done
+	// Depending on timing the run may have finished before the cancel
+	// landed; both outcomes are legal, but a context error must leave the
+	// session reusable.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := s.Query(kplist.Query{P: 4}); err != nil {
+		t.Fatalf("session not reusable: %v", err)
+	}
+}
+
+// TestSessionTypedErrors pins the errors.Is contracts the serving layer
+// maps to HTTP statuses.
+func TestSessionTypedErrors(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	if _, err := s.Query(kplist.Query{P: 4, Algo: "no-such-engine"}); !errors.Is(err, kplist.ErrUnknownEngine) {
+		t.Errorf("unknown engine: got %v, want ErrUnknownEngine", err)
+	}
+	if _, err := s.Query(kplist.Query{P: 3, Algo: kplist.AlgoCONGEST}); !errors.Is(err, kplist.ErrInvalidQuery) {
+		t.Errorf("domain violation: got %v, want ErrInvalidQuery", err)
+	}
+	if _, err := kplist.GenerateWorkload(kplist.WorkloadSpec{Family: "no-such-family", N: 8}); !errors.Is(err, kplist.ErrUnknownFamily) {
+		t.Errorf("unknown family: got %v, want ErrUnknownFamily", err)
+	}
+	s.Close()
+	if _, err := s.Query(kplist.Query{P: 4}); !errors.Is(err, kplist.ErrSessionClosed) {
+		t.Errorf("closed session: got %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionCloseIdempotent closes concurrently with queries and other
+// Close calls; run under -race in CI.
+func TestSessionCloseIdempotent(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Query(kplist.Query{P: 4, Seed: int64(i)})
+			if err != nil && !errors.Is(err, kplist.ErrSessionClosed) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+	if _, err := s.Query(kplist.Query{P: 4}); !errors.Is(err, kplist.ErrSessionClosed) {
+		t.Errorf("got %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionCoalescedWaiterSurvivesForeignCancel pins the retry contract:
+// a request that coalesced onto an execution driven by a different,
+// short-deadline requester must not inherit that requester's cancellation
+// — it retries while its own context is live and comes back with the
+// answer.
+func TestSessionCoalescedWaiterSurvivesForeignCancel(t *testing.T) {
+	spec := kplist.DefaultWorkloadSpec(kplist.WorkloadStochasticBlock, 256, 7)
+	inst, err := kplist.GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := kplist.NewSession(inst.G, kplist.SessionConfig{})
+	defer s.Close()
+	q := kplist.Query{P: 4, Algo: kplist.AlgoCongestedClique}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := s.QueryContext(ctxA, q)
+		aDone <- err
+	}()
+	// Let A start executing, coalesce B onto it, then cancel A.
+	time.Sleep(2 * time.Millisecond)
+	bDone := make(chan error, 1)
+	var bRes *kplist.Result
+	go func() {
+		res, err := s.QueryContext(context.Background(), q)
+		bRes = res
+		bDone <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancelA()
+
+	if err := <-bDone; err != nil {
+		t.Fatalf("waiter with live context inherited a foreign cancellation: %v", err)
+	}
+	if err := kplist.Verify(inst.G, 4, bRes.Cliques); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-aDone; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("requester A: %v", err)
+	}
+}
+
+// TestSessionCacheBound pins MaxCachedResults: distinct queries beyond the
+// bound evict the oldest completed results, an evicted query re-executes,
+// and memory (Unique) stays bounded.
+func TestSessionCacheBound(t *testing.T) {
+	g, _ := sessionTestGraph(t)
+	s := kplist.NewSession(g, kplist.SessionConfig{MaxCachedResults: 4})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := s.Query(kplist.Query{P: 4, Seed: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Unique > 5 {
+		t.Errorf("cache grew past the bound: %+v", st)
+	}
+	if st.Evicted == 0 {
+		t.Errorf("no evictions recorded: %+v", st)
+	}
+	// Seed 0 was evicted long ago: re-querying it is a fresh execution.
+	if _, err := s.Query(kplist.Query{P: 4, Seed: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := s.Stats(); st2.Misses != st.Misses+1 {
+		t.Errorf("evicted query should re-execute: %+v then %+v", st, st2)
+	}
+	// And the most recent seed is still cached.
+	if _, err := s.Query(kplist.Query{P: 4, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if st3 := s.Stats(); st3.Hits == 0 {
+		t.Errorf("recent result should still be cached: %+v", st3)
 	}
 }
