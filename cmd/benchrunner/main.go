@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,10 +29,11 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated experiments to run (e1..e11); empty = all")
+		only    = fs.String("only", "", "comma-separated experiments to run (e1..e11, kernel); empty = all")
 		quick   = fs.Bool("quick", false, "small sizes for a fast smoke run")
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
+		kernOut = fs.String("kernelbench", "", "write the kernel throughput baseline (BENCH_kernel.json) to this path; implies the kernel sweep runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +75,7 @@ func run(args []string, w io.Writer) error {
 		{"e10", func() ([]bench.Series, error) { return bench.E10SessionAmortization(cfg) }},
 		{"e11", func() ([]bench.Series, error) { return bench.E11ServerThroughput(cfg) }},
 	}
-	known := map[string]bool{}
+	known := map[string]bool{"kernel": true}
 	for _, r := range runners {
 		known[r.tag] = true
 	}
@@ -83,6 +85,7 @@ func run(args []string, w io.Writer) error {
 			for _, r := range runners {
 				tags = append(tags, r.tag)
 			}
+			tags = append(tags, "kernel")
 			return fmt.Errorf("unknown experiment %q (known: %s)", tag, strings.Join(tags, ", "))
 		}
 	}
@@ -96,6 +99,24 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("%s: %w", r.tag, err)
 		}
 		fmt.Fprint(w, bench.RenderAll(series))
+	}
+	// The kernel throughput sweep is wall-clock (never golden-pinned), so
+	// it runs only when asked for: via -only kernel, or implicitly when a
+	// -kernelbench baseline path is given.
+	if want["kernel"] || *kernOut != "" {
+		fmt.Fprintln(w, "==== KERNEL ====")
+		kb := bench.KernelBench(*seed, *quick)
+		fmt.Fprint(w, kb.Table())
+		if *kernOut != "" {
+			buf, err := json.MarshalIndent(kb, "", "  ")
+			if err != nil {
+				return fmt.Errorf("kernel baseline: %w", err)
+			}
+			if err := os.WriteFile(*kernOut, append(buf, '\n'), 0o644); err != nil {
+				return fmt.Errorf("kernel baseline: %w", err)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *kernOut)
+		}
 	}
 	return nil
 }

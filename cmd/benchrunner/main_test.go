@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,5 +130,55 @@ func TestWorkloadExperimentsGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("output drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
 			golden, got, want)
+	}
+}
+
+// TestKernelBaseline runs the kernel throughput sweep in quick mode and
+// checks the JSON baseline document: full family × p × workers coverage
+// and deterministic clique counts (ns/op is hardware noise and not
+// asserted). Worker counts must not change any cell's clique census.
+func TestKernelBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "kernel", "-kernelbench", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "==== KERNEL ====") {
+		t.Errorf("missing kernel table:\n%s", sb.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var kb struct {
+		GoVersion string `json:"goVersion"`
+		Rows      []struct {
+			Family  string `json:"family"`
+			P       int    `json:"p"`
+			Workers int    `json:"workers"`
+			Cliques int64  `json:"cliques"`
+			NsPerOp int64  `json:"nsPerOp"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(buf, &kb); err != nil {
+		t.Fatalf("bad baseline JSON: %v", err)
+	}
+	if kb.GoVersion == "" || len(kb.Rows) != 3*3*2 {
+		t.Fatalf("baseline has %d rows (want 18), goVersion %q", len(kb.Rows), kb.GoVersion)
+	}
+	census := map[string]int64{}
+	for _, r := range kb.Rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s p=%d workers=%d: ns/op %d", r.Family, r.P, r.Workers, r.NsPerOp)
+		}
+		key := fmt.Sprintf("%s/p=%d", r.Family, r.P)
+		if prev, ok := census[key]; ok && prev != r.Cliques {
+			t.Errorf("%s: clique census differs across worker counts: %d vs %d", key, prev, r.Cliques)
+		}
+		census[key] = r.Cliques
+	}
+	// -only kernel must not run the experiment series.
+	if strings.Contains(sb.String(), "==== E6 ====") {
+		t.Error("-only kernel should not run E6")
 	}
 }

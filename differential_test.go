@@ -8,9 +8,11 @@ package kplist_test
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"kplist"
+	"kplist/internal/graph"
 	"kplist/internal/workload"
 )
 
@@ -175,5 +177,116 @@ func TestDifferentialViaSession(t *testing.T) {
 	st := s.Stats()
 	if st.Hits == 0 || st.Misses == 0 || st.Hits+st.Misses != int64(len(qs)) {
 		t.Errorf("batch should both execute and coalesce: %+v", st)
+	}
+}
+
+// referenceListCliques is the pre-kernel sequential enumerator (the
+// per-recursion-allocating laterAdj walk the kernel replaced), kept as an
+// independent brute-force reference: every workload family must get a
+// byte-for-byte identical listing from the kernel at every worker count.
+func referenceListCliques(g *kplist.Graph, p int) []kplist.Clique {
+	if p <= 0 {
+		return nil
+	}
+	var out []kplist.Clique
+	if p == 1 {
+		for v := 0; v < g.N(); v++ {
+			out = append(out, kplist.Clique{kplist.V(v)})
+		}
+		return out
+	}
+	rank := g.Degeneracy().Rank
+	laterAdj := make([][]kplist.V, g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(kplist.V(v)) {
+			if rank[v] < rank[w] {
+				laterAdj[v] = append(laterAdj[v], w)
+			}
+		}
+	}
+	prefix := make(kplist.Clique, 0, p)
+	var rec func(cands []kplist.V, need int)
+	rec = func(cands []kplist.V, need int) {
+		for i, v := range cands {
+			if len(cands)-i < need {
+				return
+			}
+			prefix = append(prefix, v)
+			if need == 1 {
+				cp := make(kplist.Clique, p)
+				copy(cp, prefix)
+				sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+				out = append(out, cp)
+			} else {
+				rec(graph.IntersectSorted(cands[i+1:], g.Neighbors(v)), need-1)
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(laterAdj[v]) < p-1 {
+			continue
+		}
+		prefix = append(prefix, kplist.V(v))
+		rec(laterAdj[v], p-1)
+		prefix = prefix[:0]
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// cliqueBytes flattens a listing into its canonical key bytes, making
+// "byte-for-byte identical" a single comparison.
+func cliqueBytes(cs []kplist.Clique) string {
+	var buf []byte
+	for _, c := range cs {
+		buf = c.AppendKey(buf)
+	}
+	return string(buf)
+}
+
+// TestDifferentialKernelVsReference compares the kernel (sequential and
+// 8-way parallel) byte-for-byte against the reference enumerator on every
+// workload family × p ∈ {3, 4, 5}.
+func TestDifferentialKernelVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	trials := 2
+	if testing.Short() {
+		trials = 1
+	}
+	for _, family := range workload.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				n := 40 + rng.Intn(70)
+				seed := rng.Int63n(1 << 30)
+				inst, err := workload.Generate(workload.DefaultSpec(family, n, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for p := 3; p <= 5; p++ {
+					want := cliqueBytes(referenceListCliques(inst.G, p))
+					for _, workers := range []int{1, 8} {
+						got := cliqueBytes(inst.G.ListCliquesWorkers(p, workers))
+						if got != want {
+							t.Fatalf("%s n=%d seed=%d p=%d workers=%d: kernel listing is not byte-identical to the reference enumerator",
+								family, n, seed, p, workers)
+						}
+					}
+					if got := kplist.GroundTruthCount(inst.G, p); got != int64(len(want)/(4*p)) {
+						t.Fatalf("%s n=%d seed=%d p=%d: count %d, want %d",
+							family, n, seed, p, got, len(want)/(4*p))
+					}
+				}
+			}
+		})
 	}
 }

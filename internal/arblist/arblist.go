@@ -427,8 +427,7 @@ func fastK4LightPass(n int, g *graph.Graph, decomp *expander.Decomposition, heav
 					}
 				}
 			}
-			ll := graph.NewLocalLister(known)
-			ll.VisitCliques(4, func(c graph.Clique) { cliques.Add(c) })
+			graph.NewLocalLister(known).AddCliques(4, cliques)
 		}
 		// Rounds for this cluster: each light node broadcasts |Cn| IDs and
 		// receives as many replies per edge, all lights in parallel.

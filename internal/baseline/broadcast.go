@@ -53,8 +53,7 @@ func BroadcastList(n int, edges graph.EdgeList, orient *graph.Orientation, p int
 	ledger.Charge("broadcast-listing", rounds, msgs)
 
 	cliques := make(graph.CliqueSet)
-	ll := graph.NewLocalLister(edges)
-	ll.VisitCliques(p, func(c graph.Clique) { cliques.Add(c) })
+	graph.NewLocalLister(edges).AddCliques(p, cliques)
 	return cliques, nil
 }
 

@@ -167,8 +167,7 @@ func edenCluster(n int, g *graph.Graph, cl *expander.Cluster, heavyThr int,
 	if err := rt.ChargeLoads(local, "eden-naive-listing", sent, recv); err != nil {
 		return err
 	}
-	ll := graph.NewLocalLister(known)
-	ll.VisitCliques(4, func(c graph.Clique) { cliques.Add(c) })
+	graph.NewLocalLister(known).AddCliques(4, cliques)
 
 	// Light nodes list the K4s they share with the cluster: each light
 	// node broadcasts each cluster neighbor to all its neighbors and
@@ -194,8 +193,7 @@ func edenCluster(n int, g *graph.Graph, cl *expander.Cluster, heavyThr int,
 				}
 			}
 		}
-		ll := graph.NewLocalLister(localKnown)
-		ll.VisitCliques(4, func(c graph.Clique) { cliques.Add(c) })
+		graph.NewLocalLister(localKnown).AddCliques(4, cliques)
 	}
 	local.ChargeMax("eden-light-list", 2*maxCn, lightWords)
 	return nil

@@ -60,7 +60,11 @@ func BroadcastListLocal(n int, edges graph.EdgeList, orient *graph.Orientation, 
 		if av.Degree(vv) == 0 {
 			continue
 		}
-		var known []graph.Edge
+		sz := av.Degree(vv)
+		for _, w := range av.Neighbors(vv) {
+			sz += orient.OutDegree(w)
+		}
+		known := make([]graph.Edge, 0, sz)
 		for _, w := range av.Neighbors(vv) {
 			known = append(known, graph.Edge{U: vv, V: w}.Canon())
 			for _, x := range orient.Out(w) {

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"kplist/internal/graph"
+)
+
+// The kernel throughput baseline: wall-clock measurements of the
+// enumeration kernel (DESIGN.md §8) across the sparsity regimes and
+// worker counts, emitted as BENCH_kernel.json by `benchrunner
+// -kernelbench` so the listing-path perf trajectory is tracked across
+// PRs. Clique counts are deterministic under the seed (and sanity-check
+// the run); ns/op is hardware-dependent and deliberately kept out of the
+// golden tests.
+
+// KernelMeasurement is one (graph family, p, workers) cell of the sweep.
+type KernelMeasurement struct {
+	Family  string `json:"family"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	P       int    `json:"p"`
+	Workers int    `json:"workers"`
+	Cliques int64  `json:"cliques"`
+	NsPerOp int64  `json:"nsPerOp"`
+}
+
+// KernelBaseline is the BENCH_kernel.json document.
+type KernelBaseline struct {
+	GoVersion  string              `json:"goVersion"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Quick      bool                `json:"quick"`
+	Seed       int64               `json:"seed"`
+	Rows       []KernelMeasurement `json:"rows"`
+}
+
+// kernelBenchGraphs builds the family sweep. quick shrinks the dense
+// instance, which dominates the runtime.
+func kernelBenchGraphs(seed int64, quick bool) []struct {
+	family string
+	g      *graph.Graph
+} {
+	sparseN, denseN, plantedN := 1024, 256, 512
+	if quick {
+		sparseN, denseN, plantedN = 512, 128, 256
+	}
+	rng := func(off int64) *rand.Rand { return rand.New(rand.NewSource(seed + off)) }
+	planted, _ := graph.PlantedCliques(plantedN, 5, 8, 0.05, rng(2))
+	return []struct {
+		family string
+		g      *graph.Graph
+	}{
+		{"sparse-gnp", graph.ErdosRenyi(sparseN, 0.02, rng(0))},
+		{"dense-gnp", graph.ErdosRenyi(denseN, 0.4, rng(1))},
+		{"planted", planted},
+	}
+}
+
+// KernelBench measures the full listing path (enumerate, materialize,
+// sort) for every family × p × workers cell, taking the best of reps
+// runs after a kernel warm-up.
+func KernelBench(seed int64, quick bool) *KernelBaseline {
+	reps := 3
+	if quick {
+		reps = 2
+	}
+	out := &KernelBaseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Seed:       seed,
+	}
+	for _, tc := range kernelBenchGraphs(seed, quick) {
+		for _, p := range []int{3, 4, 5} {
+			for _, workers := range []int{1, 8} {
+				tc.g.CountCliquesWorkers(p, workers) // warm the kernel + arenas
+				best := time.Duration(1<<63 - 1)
+				var cliques int64
+				for r := 0; r < reps; r++ {
+					start := time.Now()
+					cs := tc.g.ListCliquesWorkers(p, workers)
+					if d := time.Since(start); d < best {
+						best = d
+					}
+					cliques = int64(len(cs))
+				}
+				out.Rows = append(out.Rows, KernelMeasurement{
+					Family:  tc.family,
+					N:       tc.g.N(),
+					M:       tc.g.M(),
+					P:       p,
+					Workers: workers,
+					Cliques: cliques,
+					NsPerOp: best.Nanoseconds(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Table renders the baseline as an aligned text table (clique counts are
+// the deterministic signature; ns/op is informational).
+func (b *KernelBaseline) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# kernel listing throughput (%s, GOMAXPROCS=%d, seed=%d)\n",
+		b.GoVersion, b.GOMAXPROCS, b.Seed)
+	fmt.Fprintf(&sb, "%12s %6s %8s %3s %8s %12s %14s\n",
+		"family", "n", "m", "p", "workers", "cliques", "ns/op")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&sb, "%12s %6d %8d %3d %8d %12d %14d\n",
+			r.Family, r.N, r.M, r.P, r.Workers, r.Cliques, r.NsPerOp)
+	}
+	return sb.String()
+}

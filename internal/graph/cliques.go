@@ -3,21 +3,27 @@ package graph
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Clique is a set of p vertices, stored sorted ascending. It is the unit of
 // output of every listing algorithm in this repository.
 type Clique []V
 
+// AppendKey appends the clique's canonical key bytes to dst and returns
+// the extended slice. The clique must already be sorted; this is the
+// allocation-free form of Key for hot paths that own a scratch buffer.
+func (c Clique) AppendKey(dst []byte) []byte {
+	for _, v := range c {
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return dst
+}
+
 // Key packs the clique into a string usable as a map key. The clique must
 // already be sorted (all producers in this repository sort).
 func (c Clique) Key() string {
-	buf := make([]byte, 4*len(c))
-	for i, v := range c {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
-	}
-	return string(buf)
+	return string(c.AppendKey(make([]byte, 0, 4*len(c))))
 }
 
 // CliqueFromKey reverses Clique.Key.
@@ -46,20 +52,31 @@ func NewCliqueSet(cs []Clique) CliqueSet {
 	return s
 }
 
+// keyInto canonicalizes c (copy + sort) into the provided scratch buffers
+// and returns its key bytes; no heap allocation for cliques up to 16
+// vertices (every p this repository lists).
+func keyInto(c Clique, vbuf []V, kbuf []byte) []byte {
+	cp := Clique(vbuf[:0])
+	if len(c) > cap(vbuf) {
+		cp = make(Clique, 0, len(c))
+	}
+	cp = append(cp, c...)
+	sortV(cp)
+	return cp.AppendKey(kbuf[:0])
+}
+
 // Add inserts a copy of c (sorted) into the set.
 func (s CliqueSet) Add(c Clique) {
-	cp := make(Clique, len(c))
-	copy(cp, c)
-	sortV(cp)
-	s[cp.Key()] = struct{}{}
+	var vbuf [16]V
+	var kbuf [64]byte
+	s[string(keyInto(c, vbuf[:], kbuf[:]))] = struct{}{}
 }
 
 // Has reports membership of c (order-insensitive).
 func (s CliqueSet) Has(c Clique) bool {
-	cp := make(Clique, len(c))
-	copy(cp, c)
-	sortV(cp)
-	_, ok := s[cp.Key()]
+	var vbuf [16]V
+	var kbuf [64]byte
+	_, ok := s[string(keyInto(c, vbuf[:], kbuf[:]))]
 	return ok
 }
 
@@ -87,7 +104,7 @@ func (s CliqueSet) Minus(t CliqueSet) []Clique {
 			out = append(out, CliqueFromKey(k))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
+	slices.SortFunc(out, cmpClique)
 	return out
 }
 
@@ -97,144 +114,224 @@ func (s CliqueSet) Cliques() []Clique {
 	for k := range s {
 		out = append(out, CliqueFromKey(k))
 	}
-	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
+	slices.SortFunc(out, cmpClique)
 	return out
 }
 
-func lessClique(a, b Clique) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
+// kernel returns the graph's enumeration kernel, built once on first use
+// and shared by every subsequent listing (the Graph is immutable).
+func (g *Graph) kernel() *kernel {
+	if k := g.kern.Load(); k != nil {
+		return k
 	}
-	return len(a) < len(b)
+	k := newGraphKernel(g)
+	if g.kern.CompareAndSwap(nil, k) {
+		return k
+	}
+	return g.kern.Load()
 }
 
 // ListCliques enumerates every clique of exactly p vertices in g, returning
-// them sorted. This is the sequential ground truth: it uses the degeneracy
-// order so each clique is produced exactly once from its earliest vertex,
-// with running time O(m · d^{p-2}) where d is the degeneracy.
+// them sorted lexicographically. It runs the enumeration kernel with
+// parallel root fan-out over GOMAXPROCS workers; the output is byte-
+// identical for every worker count. Sequential-order time is
+// O(m · d^{p-2}) where d is the degeneracy.
 func (g *Graph) ListCliques(p int) []Clique {
-	var out []Clique
-	g.VisitCliques(p, func(c Clique) {
-		cp := make(Clique, len(c))
-		copy(cp, c)
-		out = append(out, cp)
-	})
-	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
-	return out
+	return g.ListCliquesWorkers(p, 0)
+}
+
+// ListCliquesWorkers is ListCliques with an explicit host-parallelism
+// bound: 0 means GOMAXPROCS, 1 forces the sequential kernel. The output
+// is identical for every value.
+func (g *Graph) ListCliquesWorkers(p, workers int) []Clique {
+	if p == 1 {
+		var out []Clique
+		for v := 0; v < g.n; v++ {
+			out = append(out, Clique{V(v)})
+		}
+		return out
+	}
+	if p <= 0 {
+		return nil
+	}
+	return g.kernel().list(p, workers)
 }
 
 // CountCliques counts cliques of exactly p vertices without materializing
-// them.
+// them, in parallel over GOMAXPROCS workers.
 func (g *Graph) CountCliques(p int) int64 {
-	var count int64
-	g.VisitCliques(p, func(Clique) { count++ })
-	return count
+	return g.CountCliquesWorkers(p, 0)
 }
 
-// VisitCliques calls yield once per p-clique. The clique slice is reused
+// CountCliquesWorkers is CountCliques with an explicit worker bound
+// (0 = GOMAXPROCS). With workers = 1 the count runs entirely on the
+// caller's goroutine and, once the kernel is built, performs zero heap
+// allocations — this is the steady-state path the alloc-regression canary
+// pins.
+func (g *Graph) CountCliquesWorkers(p, workers int) int64 {
+	if p == 1 {
+		return int64(g.n)
+	}
+	if p <= 0 {
+		return 0
+	}
+	return g.kernel().count(p, workers)
+}
+
+// VisitCliques calls yield once per p-clique, in the kernel's
+// deterministic sequential enumeration order. The clique slice is reused
 // between calls; yield must copy it to retain it. Vertices within each
 // yielded clique are sorted ascending.
 func (g *Graph) VisitCliques(p int, yield func(Clique)) {
+	g.VisitCliquesUntil(p, func(c Clique) bool {
+		yield(c)
+		return true
+	})
+}
+
+// VisitCliquesUntil is VisitCliques with early termination: enumeration
+// stops as soon as yield returns false, and the return value reports
+// whether the enumeration ran to completion. This is the streaming
+// surface — no clique is ever materialized beyond the reused yield slice.
+func (g *Graph) VisitCliquesUntil(p int, yield func(Clique) bool) bool {
 	if p <= 0 {
-		return
+		return true
 	}
 	if p == 1 {
 		c := make(Clique, 1)
 		for v := 0; v < g.n; v++ {
 			c[0] = V(v)
-			yield(c)
-		}
-		return
-	}
-	res := g.Degeneracy()
-	rank := res.Rank
-	// laterAdj[v] = neighbors of v with larger rank, sorted by vertex ID.
-	laterAdj := make([][]V, g.n)
-	for v := 0; v < g.n; v++ {
-		for _, w := range g.adj[v] {
-			if rank[v] < rank[w] {
-				laterAdj[v] = append(laterAdj[v], w)
+			if !yield(c) {
+				return false
 			}
 		}
+		return true
 	}
-	prefix := make(Clique, 0, p)
-	scratch := make(Clique, p)
-	// Root level: each vertex with its later-rank neighborhood, so every
-	// clique is produced exactly once, rooted at its earliest-rank vertex.
-	for v := 0; v < g.n; v++ {
-		if len(laterAdj[v]) < p-1 {
-			continue
-		}
-		prefix = append(prefix, V(v))
-		recurse(g, laterAdj[v], p-1, &prefix, scratch, yield)
-		prefix = prefix[:0]
-	}
-}
-
-// recurse extends the current prefix with vertices from cands (sorted by ID,
-// all adjacent to every prefix vertex), needing `need` more vertices. The
-// prefix is in rank-then-ID order, not ID order, so completed cliques are
-// copied into scratch and sorted there; the prefix itself is never mutated
-// except by push/pop.
-func recurse(g *Graph, cands []V, need int, prefix *Clique, scratch Clique, yield func(Clique)) {
-	for i, v := range cands {
-		if len(cands)-i < need {
-			return
-		}
-		*prefix = append(*prefix, v)
-		if need == 1 {
-			copy(scratch, *prefix)
-			sortV(scratch)
-			yield(scratch)
-		} else {
-			next := IntersectSorted(cands[i+1:], g.adj[v])
-			recurse(g, next, need-1, prefix, scratch, yield)
-		}
-		*prefix = (*prefix)[:len(*prefix)-1]
-	}
+	return g.kernel().visitSeq(p, yield)
 }
 
 // LocalLister enumerates p-cliques inside an arbitrary locally-known edge
 // set — this is what a single simulated node runs over the edges it has
-// learned. The adjacency is built once from the provided edges.
+// learned. The vertex IDs are remapped onto a dense range and the edges
+// indexed once into a flat CSR; enumeration runs on the same kernel as
+// Graph.ListCliques.
 type LocalLister struct {
-	adj map[V][]V
+	verts []V     // sorted unique vertex IDs appearing in the edge set
+	off   []int32 // CSR offsets, len(verts)+1
+	heads []V     // neighbor IDs (original space), ascending per row
+	kern  *kernel
 }
 
-// NewLocalLister indexes the given edges (canonicalized, deduped).
+// NewLocalLister indexes the given edges (canonicalized, deduped on a
+// private packed copy — no per-edge map allocation). Edges are packed
+// into uint64 keys so the sort/dedup runs on the ordered fast path.
 func NewLocalLister(edges []Edge) *LocalLister {
-	adj := make(map[V][]V)
-	seen := make(map[Edge]struct{}, len(edges))
+	keys := make([]uint64, 0, len(edges))
 	for _, e := range edges {
+		if e.U == e.V || e.U < 0 || e.V < 0 {
+			continue // vertices are dense in [0, N) throughout the repo
+		}
 		e = e.Canon()
-		if e.U == e.V {
-			continue
-		}
-		if _, dup := seen[e]; dup {
-			continue
-		}
-		seen[e] = struct{}{}
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+		keys = append(keys, uint64(uint32(e.U))<<32|uint64(uint32(e.V)))
 	}
-	for v := range adj {
-		adj[v] = sortDedup(adj[v])
+	slices.Sort(keys)
+	keys = slices.Compact(keys)
+
+	// Dense vertex remap: position in the sorted unique endpoint list.
+	// The relabeling is monotone, so neighbor rows sorted in dense space
+	// are sorted in original space too. When the raw ID range is within a
+	// constant factor of the edge count (the common case: engine-local
+	// edge sets over a dense parent graph), the unique endpoints are
+	// collected by a presence table — no endpoint sort — and the same
+	// table then serves as an O(1) remap; sparse ID ranges fall back to
+	// sort + binary search.
+	var maxRaw V
+	for _, k := range keys {
+		if v := V(uint32(k)); v > maxRaw {
+			maxRaw = v // canonical edges: the low half holds the larger ID
+		}
 	}
-	return &LocalLister{adj: adj}
+	var verts []V
+	var table []int32
+	if int(maxRaw) <= 4*len(keys)+1024 {
+		table = make([]int32, int(maxRaw)+1)
+		for _, k := range keys {
+			table[V(k>>32)] = 1
+			table[V(uint32(k))] = 1
+		}
+		verts = make([]V, 0, len(keys))
+		for v := V(0); v <= maxRaw; v++ {
+			if table[v] != 0 {
+				table[v] = int32(len(verts))
+				verts = append(verts, v)
+			}
+		}
+	} else {
+		verts = make([]V, 0, 2*len(keys))
+		for _, k := range keys {
+			verts = append(verts, V(k>>32), V(uint32(k)))
+		}
+		slices.Sort(verts)
+		verts = slices.Compact(verts)
+	}
+	n := len(verts)
+	idx := func(v V) int32 {
+		if table != nil {
+			return table[v]
+		}
+		i, _ := slices.BinarySearch(verts, v)
+		return int32(i)
+	}
+
+	ll := &LocalLister{verts: verts, off: make([]int32, n+1)}
+	deg := make([]int32, n)
+	du := make([]int32, len(keys)) // memoized dense endpoints
+	dv := make([]int32, len(keys))
+	for i, k := range keys {
+		du[i], dv[i] = idx(V(k>>32)), idx(V(uint32(k)))
+		deg[du[i]]++
+		deg[dv[i]]++
+	}
+	for v := 0; v < n; v++ {
+		ll.off[v+1] = ll.off[v] + deg[v]
+	}
+	// Fill each CSR row in ascending order without per-row sorts: row v
+	// first receives its smaller-ID neighbors (the U side of canonical
+	// edges, ascending because keys are sorted), then its larger-ID
+	// neighbors (the V side, likewise ascending).
+	dense := make([]V, ll.off[n]) // dense-space heads for the kernel
+	fill := make([]int32, n)
+	for i := range keys {
+		v := dv[i]
+		dense[ll.off[v]+fill[v]] = V(du[i])
+		fill[v]++
+	}
+	for i := range keys {
+		u := du[i]
+		dense[ll.off[u]+fill[u]] = V(dv[i])
+		fill[u]++
+	}
+	ll.heads = make([]V, len(dense))
+	for i, d := range dense {
+		ll.heads[i] = verts[d]
+	}
+	ll.kern = newKernel(n, ll.off, dense, verts)
+	return ll
 }
 
-// Neighbors returns the known sorted neighbors of v.
-func (ll *LocalLister) Neighbors(v V) []V { return ll.adj[v] }
+// Neighbors returns the known sorted neighbors of v. The slice is shared
+// and must not be modified.
+func (ll *LocalLister) Neighbors(v V) []V {
+	i, ok := slices.BinarySearch(ll.verts, v)
+	if !ok {
+		return nil
+	}
+	return ll.heads[ll.off[i]:ll.off[i+1]]
+}
 
 // HasEdge reports whether the lister knows edge {u,v}.
 func (ll *LocalLister) HasEdge(u, v V) bool {
-	a, ok := ll.adj[u]
-	if !ok {
-		return false
-	}
-	return ContainsSorted(a, v)
+	return ContainsSorted(ll.Neighbors(u), v)
 }
 
 // VisitCliques enumerates every p-clique within the known edges, yielding
@@ -243,50 +340,30 @@ func (ll *LocalLister) VisitCliques(p int, yield func(Clique)) {
 	if p < 2 {
 		return
 	}
-	verts := make([]V, 0, len(ll.adj))
-	for v := range ll.adj {
-		verts = append(verts, v)
+	ll.kern.visitSeq(p, func(c Clique) bool {
+		yield(c)
+		return true
+	})
+}
+
+// AddCliques enumerates every p-clique and inserts them into set; the
+// engines' local-listing hot path.
+func (ll *LocalLister) AddCliques(p int, set CliqueSet) {
+	if p < 2 {
+		return
 	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	prefix := make(Clique, 0, p)
-	var rec func(cands []V, need int)
-	rec = func(cands []V, need int) {
-		if need == 0 {
-			yield(prefix)
-			return
-		}
-		for i, v := range cands {
-			if len(cands)-i < need {
-				return
-			}
-			prefix = append(prefix, v)
-			if need == 1 {
-				yield(prefix)
-			} else {
-				rec(IntersectSorted(cands[i+1:], ll.adj[v]), need-1)
-			}
-			prefix = prefix[:len(prefix)-1]
-		}
-	}
-	for _, v := range verts {
-		later := ll.adj[v]
-		// Only neighbors with larger ID, so each clique is rooted at its
-		// minimum vertex and produced once.
-		idx := sort.Search(len(later), func(i int) bool { return later[i] > v })
-		prefix = append(prefix, v)
-		rec(later[idx:], p-1)
-		prefix = prefix[:0]
-	}
+	var kbuf [64]byte
+	ll.kern.visitSeq(p, func(c Clique) bool {
+		// Kernel output is already sorted: key it directly.
+		set[string(c.AppendKey(kbuf[:0]))] = struct{}{}
+		return true
+	})
 }
 
 // ListCliques returns all p-cliques known to the lister, sorted.
 func (ll *LocalLister) ListCliques(p int) []Clique {
-	var out []Clique
-	ll.VisitCliques(p, func(c Clique) {
-		cp := make(Clique, len(c))
-		copy(cp, c)
-		out = append(out, cp)
-	})
-	sort.Slice(out, func(i, j int) bool { return lessClique(out[i], out[j]) })
-	return out
+	if p < 2 {
+		return nil
+	}
+	return ll.kern.list(p, 1)
 }

@@ -204,3 +204,43 @@ func TestVisitCliquesEdgeCases(t *testing.T) {
 		t.Error("empty graph should yield nothing")
 	}
 }
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	cs := []Clique{{}, {0}, {5, 9}, {1, 2, 3, 4}, {7, 123456, 1 << 20, 1<<30 + 17}}
+	for _, c := range cs {
+		var buf [64]byte
+		if got := string(c.AppendKey(buf[:0])); got != c.Key() {
+			t.Errorf("AppendKey(%v) != Key()", c)
+		}
+		// Appending must extend, not clobber.
+		pre := []byte("pre")
+		ext := c.AppendKey(pre)
+		if string(ext[:3]) != "pre" || string(ext[3:]) != c.Key() {
+			t.Errorf("AppendKey(%v) with prefix corrupted the buffer", c)
+		}
+	}
+}
+
+func TestCliqueSetAddHasUnsorted(t *testing.T) {
+	s := make(CliqueSet)
+	s.Add(Clique{9, 1, 5})
+	if !s.Has(Clique{5, 9, 1}) || !s.Has(Clique{1, 5, 9}) {
+		t.Error("Add/Has must canonicalize order")
+	}
+	if s.Has(Clique{1, 5}) {
+		t.Error("prefix must not be a member")
+	}
+	// Cliques longer than the stack scratch still work.
+	long := make(Clique, 24)
+	for i := range long {
+		long[i] = V(24 - i)
+	}
+	s.Add(long)
+	rev := make(Clique, 24)
+	for i := range rev {
+		rev[i] = V(i + 1)
+	}
+	if !s.Has(rev) {
+		t.Error("long cliques must round-trip through Add/Has")
+	}
+}

@@ -109,3 +109,43 @@ func FuzzNewGraph(f *testing.F) {
 		}
 	})
 }
+
+// FuzzKernelCliques fuzzes the enumeration kernel against the O(n^p)
+// brute-force reference over random edge lists: the listing (sequential
+// and parallel), the counting mode, and the LocalLister re-platform must
+// all agree exactly for every p.
+func FuzzKernelCliques(f *testing.F) {
+	f.Add(4, []byte{0, 1, 1, 2, 0, 2})                   // triangle + isolated
+	f.Add(5, []byte{0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3}) // K4 + pendant
+	f.Add(1, []byte{})
+	f.Add(9, []byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 0, 2, 4, 6, 8})
+	f.Fuzz(func(t *testing.T, n int, raw []byte) {
+		if n < 0 {
+			n = -n
+		}
+		n = n%20 + 1
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{V(int(raw[i]) % n), V(int(raw[i+1]) % n)})
+		}
+		g := MustNew(n, edges)
+		ll := NewLocalLister(g.Edges())
+		for p := 2; p <= 5; p++ {
+			want := bruteForceCliques(g, p)
+			seq := g.ListCliquesWorkers(p, 1)
+			if got := NewCliqueSet(seq); !got.Equal(want) {
+				t.Fatalf("p=%d: kernel listed %d cliques, brute force %d", p, got.Len(), want.Len())
+			}
+			par := g.ListCliquesWorkers(p, 4)
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("p=%d: parallel listing diverges from sequential", p)
+			}
+			if got := g.CountCliques(p); got != int64(want.Len()) {
+				t.Fatalf("p=%d: count %d, want %d", p, got, want.Len())
+			}
+			if got := NewCliqueSet(ll.ListCliques(p)); !got.Equal(want) {
+				t.Fatalf("p=%d: LocalLister listed %d cliques, want %d", p, got.Len(), want.Len())
+			}
+		}
+	})
+}

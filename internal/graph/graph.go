@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // V is a vertex identifier. Vertices are dense in [0, N).
@@ -53,6 +54,12 @@ type Graph struct {
 	n   int
 	m   int
 	adj [][]V
+
+	// kern caches the clique-enumeration kernel (flat CSR of the
+	// degeneracy DAG), built lazily on the first listing call and shared
+	// by every subsequent one — the graph is immutable, so the kernel
+	// never invalidates.
+	kern atomic.Pointer[kernel]
 }
 
 // New builds a graph with n vertices from an edge list. Duplicate edges and

@@ -305,14 +305,22 @@ func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	q := kplist.Query{P: p, Algo: kplist.Algorithm(qv.Get("algo")), Seed: seed}
-
 	sess, release, err := s.acquireChecked(r.Context(), id, rg.G)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
 	defer release()
+
+	// algo=truth streams the sequential ground-truth kernel directly:
+	// no engine run, no round bill, and — with stream=1 — no []Clique is
+	// ever materialized, whatever the output size.
+	if qv.Get("algo") == "truth" {
+		s.serveTruthCliques(w, r, sess, id, p, qv.Get("stream") == "0")
+		return
+	}
+
+	q := kplist.Query{P: p, Algo: kplist.Algorithm(qv.Get("algo")), Seed: seed}
 	res, err := sess.QueryContext(r.Context(), q)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -357,6 +365,63 @@ func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 		}
+	}
+	_ = bw.Flush()
+}
+
+// serveTruthCliques answers /cliques?algo=truth. The document form
+// (stream=0) rides the session's memoized ground truth; the NDJSON form
+// streams straight off the enumeration kernel's visitor — one reused
+// line buffer, flushed every streamFlushEvery lines, in the kernel's
+// deterministic enumeration order — so the response is byte-identical
+// across requests without the server ever holding the listing.
+func (s *Server) serveTruthCliques(w http.ResponseWriter, r *http.Request, sess *kplist.Session, id string, p int, document bool) {
+	if p < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("ground truth requires p ≥ 1, got %d", p))
+		return
+	}
+	w.Header().Set("X-Kplist-Source", "ground-truth")
+	if document {
+		cs := sess.GroundTruth(p)
+		w.Header().Set("X-Kplist-Clique-Count", strconv.Itoa(len(cs)))
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph": id, "p": p, "source": "ground-truth",
+			"count": len(cs), "cliques": cs,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriterSize(w, 64<<10)
+	flusher, _ := w.(http.Flusher)
+	line := make([]byte, 0, 64)
+	lines := 0
+	err := sess.VisitGroundTruth(r.Context(), p, func(c kplist.Clique) bool {
+		line = line[:0]
+		line = append(line, '[')
+		for i, v := range c {
+			if i > 0 {
+				line = append(line, ',')
+			}
+			line = strconv.AppendInt(line, int64(v), 10)
+		}
+		line = append(line, ']', '\n')
+		if _, werr := bw.Write(line); werr != nil {
+			return false // client gone; stop enumerating
+		}
+		lines++
+		if lines%streamFlushEvery == 0 {
+			if werr := bw.Flush(); werr != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return // headers already sent; the truncated stream is the signal
 	}
 	_ = bw.Flush()
 }

@@ -159,9 +159,10 @@ func TestAdmissionSheds429UnderSaturation(t *testing.T) {
 		c.QueueLimit = 1
 		c.DefaultDeadline = time.Minute
 	})
-	// Dense stochastic-block: every cold congested-clique query runs
-	// ~10ms, so the burst genuinely overlaps on the single slot.
-	spec := kplist.DefaultWorkloadSpec(kplist.WorkloadStochasticBlock, 256, 17)
+	// Dense stochastic-block, sized so every cold congested-clique query
+	// still runs ~10ms on the fast enumeration kernel and the burst
+	// genuinely overlaps on the single slot.
+	spec := kplist.DefaultWorkloadSpec(kplist.WorkloadStochasticBlock, 512, 17)
 	resp0, body0 := postJSON(t, ts.URL+"/v1/graphs", map[string]any{"workload": spec})
 	if resp0.StatusCode != http.StatusCreated {
 		t.Fatalf("register: %d %s", resp0.StatusCode, body0)

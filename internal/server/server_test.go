@@ -451,3 +451,71 @@ func TestStreamNonStreaming(t *testing.T) {
 		t.Errorf("count %d cliques %d, want %d", doc.Count, len(doc.Cliques), want)
 	}
 }
+
+// TestTruthStreaming exercises the algo=truth path: the NDJSON stream
+// must carry exactly the ground-truth clique set, be byte-identical
+// across repeated requests (the kernel's enumeration order is
+// deterministic), and the document form must match the memoized listing.
+func TestTruthStreaming(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	id, inst := registerWorkload(t, ts.URL, 90, 11)
+	want := kplist.NewCliqueSet(kplist.GroundTruth(inst.G, 4))
+
+	resp, body := get(t, ts.URL+"/v1/graphs/"+id+"/cliques?p=4&algo=truth")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("truth stream: status %d body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("truth stream content-type %q", ct)
+	}
+	if src := resp.Header.Get("X-Kplist-Source"); src != "ground-truth" {
+		t.Errorf("X-Kplist-Source = %q", src)
+	}
+	got := make(kplist.CliqueSet)
+	lines := 0
+	for _, ln := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		if ln == "" {
+			continue
+		}
+		var c kplist.Clique
+		if err := json.Unmarshal([]byte(ln), &c); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		got.Add(c)
+		lines++
+	}
+	if lines != want.Len() || !got.Equal(want) {
+		t.Fatalf("truth stream listed %d cliques (%d distinct), want %d", lines, got.Len(), want.Len())
+	}
+
+	// Determinism: a second request streams identical bytes.
+	resp2, body2 := get(t, ts.URL+"/v1/graphs/"+id+"/cliques?p=4&algo=truth")
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatal("truth stream is not byte-deterministic across requests")
+	}
+
+	// Document form: count + cliques from the memoized ground truth.
+	resp, body = get(t, ts.URL+"/v1/graphs/"+id+"/cliques?p=4&algo=truth&stream=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("truth document: status %d body %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Count   int             `json:"count"`
+		Source  string          `json:"source"`
+		Cliques []kplist.Clique `json:"cliques"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != want.Len() || doc.Source != "ground-truth" || len(doc.Cliques) != want.Len() {
+		t.Fatalf("truth document %+v, want %d cliques", doc, want.Len())
+	}
+	if got := resp.Header.Get("X-Kplist-Clique-Count"); got != fmt.Sprint(want.Len()) {
+		t.Errorf("X-Kplist-Clique-Count = %s, want %d", got, want.Len())
+	}
+
+	// Domain validation still applies.
+	if resp, _ := get(t, ts.URL+"/v1/graphs/"+id+"/cliques?p=0&algo=truth"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("p=0 truth stream: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -305,9 +305,7 @@ func runListing(p int, realEdges, fakeEdges graph.EdgeList,
 			}
 		}
 		out := make(graph.CliqueSet)
-		graph.NewLocalLister(local).VisitCliques(p, func(c graph.Clique) {
-			out.Add(c)
-		})
+		graph.NewLocalLister(local).AddCliques(p, out)
 		perTuple[j] = out
 	}
 	if workers > len(distinct) {

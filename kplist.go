@@ -67,6 +67,9 @@ type Clique = graph.Clique
 // CliqueSet is a set of cliques keyed canonically.
 type CliqueSet = graph.CliqueSet
 
+// NewCliqueSet builds a canonical set from a list of cliques.
+func NewCliqueSet(cs []Clique) CliqueSet { return graph.NewCliqueSet(cs) }
+
 // PhaseCost is one named phase's share of the round/message bill.
 type PhaseCost = congest.PhaseCost
 
@@ -241,9 +244,18 @@ func ListEdenK4(g *Graph, opt Options) (*Result, error) {
 	return newResult(set, &ledger), nil
 }
 
-// GroundTruth lists every Kp sequentially (no simulation, no bill) — the
-// reference the distributed outputs are compared against.
+// GroundTruth lists every Kp exactly (no simulation, no bill) — the
+// reference the distributed outputs are compared against. It runs on the
+// enumeration kernel (flat CSR of the degeneracy DAG, zero-allocation
+// recursion, parallel root fan-out; DESIGN.md §8); output is sorted
+// lexicographically and byte-identical for every level of host
+// parallelism.
 func GroundTruth(g *Graph, p int) []Clique { return g.ListCliques(p) }
+
+// GroundTruthCount counts Kp instances without materializing them — the
+// kernel's counting mode skips clique emission entirely, so it is the
+// cheapest exact census available.
+func GroundTruthCount(g *Graph, p int) int64 { return g.CountCliques(p) }
 
 // Verify checks that cliques is exactly the set of Kp instances of g,
 // returning a descriptive error on the first discrepancy.

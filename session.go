@@ -426,6 +426,47 @@ func (s *Session) GroundTruth(p int) []Clique {
 	return e.cs
 }
 
+// visitCtxCheckEvery is how many streamed cliques go by between context
+// checks during VisitGroundTruth: frequent enough that a cancelled client
+// stops the enumeration promptly, rare enough to stay off the hot path.
+const visitCtxCheckEvery = 1024
+
+// VisitGroundTruth streams the sequential kernel enumeration of Kp over
+// the session's graph: yield is called once per clique (the slice is
+// reused — copy to retain) in the kernel's deterministic enumeration
+// order, and nothing is ever materialized. Enumeration stops early when
+// yield returns false (not an error) or when ctx expires (its error is
+// returned). This is the serving path behind kplistd's ground-truth
+// NDJSON streaming: constant memory no matter how many cliques go by.
+func (s *Session) VisitGroundTruth(ctx context.Context, p int, yield func(Clique) bool) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrSessionClosed
+	}
+	if p < 1 {
+		return fmt.Errorf("%w: ground-truth streaming requires p ≥ 1, got %d", ErrInvalidQuery, p)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := 0
+	ctxStopped := false
+	s.g.VisitCliquesUntil(p, func(c Clique) bool {
+		n++
+		if n%visitCtxCheckEvery == 0 && ctx.Err() != nil {
+			ctxStopped = true
+			return false
+		}
+		return yield(c)
+	})
+	if ctxStopped {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // BatchResult pairs one query of a batch with its outcome.
 type BatchResult struct {
 	Query  Query
