@@ -6,6 +6,13 @@
 //	benchrunner                 # everything, default sizes
 //	benchrunner -only e1,e3     # selected experiments
 //	benchrunner -quick          # small sizes (seconds instead of minutes)
+//	benchrunner -quick -update  # regenerate the committed goldens
+//
+// Golden maintenance: -update rewrites the golden files under -goldendir
+// (default cmd/benchrunner/testdata when run from the repo root) — and it
+// is scoped by -only: a golden is rewritten only when every experiment it
+// pins is selected, so `-only e11 -update` refreshes server_quick.golden
+// and leaves the others byte-identical.
 package main
 
 import (
@@ -14,10 +21,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"kplist/internal/bench"
 )
+
+// golden binds one committed golden file to the experiments whose -quick
+// output it pins.
+type golden struct {
+	file string
+	tags []string
+}
+
+// goldens is the registry of committed golden files. The file content is
+// exactly the output of `benchrunner -quick -only <tags>`.
+func goldens() []golden {
+	return []golden{
+		{file: "workloads_quick.golden", tags: []string{"e9", "e10"}},
+		{file: "server_quick.golden", tags: []string{"e11"}},
+		{file: "dynamic_quick.golden", tags: []string{"e12"}},
+	}
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -29,11 +54,13 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only    = fs.String("only", "", "comma-separated experiments to run (e1..e11, kernel); empty = all")
-		quick   = fs.Bool("quick", false, "small sizes for a fast smoke run")
-		seed    = fs.Int64("seed", 1, "random seed")
-		workers = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
-		kernOut = fs.String("kernelbench", "", "write the kernel throughput baseline (BENCH_kernel.json) to this path; implies the kernel sweep runs")
+		only      = fs.String("only", "", "comma-separated experiments to run (e1..e12, kernel); empty = all")
+		quick     = fs.Bool("quick", false, "small sizes for a fast smoke run")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
+		kernOut   = fs.String("kernelbench", "", "write the kernel throughput baseline (BENCH_kernel.json) to this path; implies the kernel sweep runs")
+		update    = fs.Bool("update", false, "rewrite the golden files whose experiments are all selected (requires -quick; scoped by -only)")
+		goldenDir = fs.String("goldendir", filepath.Join("cmd", "benchrunner", "testdata"), "directory holding the golden files -update rewrites")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +72,9 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	enabled := func(tag string) bool { return len(want) == 0 || want[tag] }
+	if *update && !*quick {
+		return fmt.Errorf("-update rewrites the -quick goldens; run with -quick")
+	}
 
 	cfg := bench.Config{Seed: *seed, Workers: *workers}
 	ablN, ccN := 240, 200
@@ -55,6 +85,7 @@ func run(args []string, w io.Writer) error {
 		cfg.Ps = []int{4, 5}
 		cfg.WorkloadSizes = []int{96, 128, 192}
 		cfg.PoolSizes = []int{1, 2, 3}
+		cfg.DynN = 96
 		ablN, ccN = 96, 100
 	}
 
@@ -74,6 +105,7 @@ func run(args []string, w io.Writer) error {
 		{"e9", func() ([]bench.Series, error) { return bench.E9WorkloadFamilies(cfg) }},
 		{"e10", func() ([]bench.Series, error) { return bench.E10SessionAmortization(cfg) }},
 		{"e11", func() ([]bench.Series, error) { return bench.E11ServerThroughput(cfg) }},
+		{"e12", func() ([]bench.Series, error) { return bench.E12IncrementalChurn(cfg) }},
 	}
 	known := map[string]bool{"kernel": true}
 	for _, r := range runners {
@@ -89,16 +121,18 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("unknown experiment %q (known: %s)", tag, strings.Join(tags, ", "))
 		}
 	}
+	outputs := map[string]string{}
 	for _, r := range runners {
 		if !enabled(r.tag) {
 			continue
 		}
-		fmt.Fprintf(w, "==== %s ====\n", strings.ToUpper(r.tag))
 		series, err := r.fn()
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.tag, err)
 		}
-		fmt.Fprint(w, bench.RenderAll(series))
+		section := fmt.Sprintf("==== %s ====\n%s", strings.ToUpper(r.tag), bench.RenderAll(series))
+		outputs[r.tag] = section
+		fmt.Fprint(w, section)
 	}
 	// The kernel throughput sweep is wall-clock (never golden-pinned), so
 	// it runs only when asked for: via -only kernel, or implicitly when a
@@ -117,6 +151,43 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintf(w, "wrote %s\n", *kernOut)
 		}
+	}
+	if *update {
+		return updateGoldens(w, *goldenDir, outputs, enabled)
+	}
+	return nil
+}
+
+// updateGoldens rewrites each registered golden whose experiments were all
+// selected this run; partially selected groups are skipped (a golden must
+// never be written with half its sections missing).
+func updateGoldens(w io.Writer, dir string, outputs map[string]string, enabled func(string) bool) error {
+	wrote := 0
+	for _, gl := range goldens() {
+		complete := true
+		var content strings.Builder
+		for _, tag := range gl.tags {
+			if !enabled(tag) {
+				complete = false
+				break
+			}
+			content.WriteString(outputs[tag])
+		}
+		if !complete {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("golden update: %w", err)
+		}
+		path := filepath.Join(dir, gl.file)
+		if err := os.WriteFile(path, []byte(content.String()), 0o644); err != nil {
+			return fmt.Errorf("golden update: %w", err)
+		}
+		fmt.Fprintf(w, "updated %s\n", path)
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("-update wrote nothing: no golden's experiment set is fully selected")
 	}
 	return nil
 }

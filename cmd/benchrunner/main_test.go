@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,34 +66,29 @@ func TestRunUnknownExperimentErrors(t *testing.T) {
 	}
 }
 
-// TestWorkloadExperimentsGolden pins the full -quick output of the
-// workload-family experiments (E9/E10). Everything they print is
-// deterministic under the default seed; regenerate with
-// `go test ./cmd/benchrunner -run Golden -update` after intentional
-// changes to the generators, the lister bills, or the table format.
-// TestServerExperimentGolden pins the full -quick output of the serving
-// experiment (E11): the request trace, the pool hit/eviction profile and
-// the round bills are all deterministic under the default seed.
-// Regenerate with `go test ./cmd/benchrunner -run ServerExperimentGolden
-// -update` after intentional changes to the serving layer or generators.
-func TestServerExperimentGolden(t *testing.T) {
+// checkGolden runs `-quick -only <tags>` and compares the output against
+// the committed golden. With the test -update flag it first regenerates
+// the golden through the tool's own scoped -update path, so there is
+// exactly one write path for golden content.
+func checkGolden(t *testing.T, tags, file string, headers ...string) {
+	t.Helper()
+	args := []string{"-quick", "-only", tags}
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-only", "e11"}, &sb); err != nil {
+	if err := run(args, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	got := sb.String()
-	if !strings.Contains(got, "==== E11 ====") {
-		t.Fatalf("missing E11 header:\n%s", got)
+	for _, h := range headers {
+		if !strings.Contains(got, h) {
+			t.Fatalf("missing %s header:\n%s", h, got)
+		}
 	}
-	golden := filepath.Join("testdata", "server_quick.golden")
 	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
+		if err := run(append(args, "-update", "-goldendir", "testdata"), io.Discard); err != nil {
+			t.Fatalf("golden update: %v", err)
 		}
 	}
+	golden := filepath.Join("testdata", file)
 	want, err := os.ReadFile(golden)
 	if err != nil {
 		t.Fatalf("read golden (run with -update to create): %v", err)
@@ -103,33 +99,66 @@ func TestServerExperimentGolden(t *testing.T) {
 	}
 }
 
+// TestWorkloadExperimentsGolden pins the full -quick output of the
+// workload-family experiments (E9/E10); TestServerExperimentGolden the
+// serving experiment (E11); TestDynamicExperimentGolden the dynamic-graph
+// churn experiment (E12). Everything printed is deterministic under the
+// default seed; regenerate with `go test ./cmd/benchrunner -run Golden
+// -update` after intentional changes to the generators, the engines or
+// the table format.
+func TestServerExperimentGolden(t *testing.T) {
+	checkGolden(t, "e11", "server_quick.golden", "==== E11 ====")
+}
+
 func TestWorkloadExperimentsGolden(t *testing.T) {
+	checkGolden(t, "e9,e10", "workloads_quick.golden", "==== E9 ====", "==== E10 ====")
+}
+
+func TestDynamicExperimentGolden(t *testing.T) {
+	checkGolden(t, "e12", "dynamic_quick.golden", "==== E12 ====")
+}
+
+// TestUpdateScopedByOnly pins the golden-hygiene fix: -update rewrites
+// exactly the goldens whose experiment sets are fully selected by -only,
+// never the rest, and refuses to write a partial group.
+func TestUpdateScopedByOnly(t *testing.T) {
+	dir := t.TempDir()
+
+	// Selecting e12 only must write dynamic_quick.golden and nothing else.
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-only", "e9,e10"}, &sb); err != nil {
+	if err := run([]string{"-quick", "-only", "e12", "-update", "-goldendir", dir}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	got := sb.String()
-	for _, want := range []string{"==== E9 ====", "==== E10 ===="} {
-		if !strings.Contains(got, want) {
-			t.Fatalf("missing %s header:\n%s", want, got)
-		}
-	}
-	golden := filepath.Join("testdata", "workloads_quick.golden")
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("read golden (run with -update to create): %v", err)
+		t.Fatal(err)
 	}
-	if got != string(want) {
-		t.Errorf("output drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
-			golden, got, want)
+	if len(entries) != 1 || entries[0].Name() != "dynamic_quick.golden" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("-only e12 -update wrote %v, want exactly dynamic_quick.golden", names)
+	}
+	// The written golden is exactly the run's E12 output.
+	buf, err := os.ReadFile(filepath.Join(dir, "dynamic_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), string(buf)) {
+		t.Fatal("written golden does not match the run output")
+	}
+
+	// A partially selected group (e9 without e10) must write nothing and
+	// say so.
+	if err := run([]string{"-quick", "-only", "e9", "-update", "-goldendir", t.TempDir()}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "wrote nothing") {
+		t.Fatalf("partial group update should refuse, got %v", err)
+	}
+
+	// -update without -quick is a mistake (the goldens pin quick output).
+	if err := run([]string{"-only", "e12", "-update"}, io.Discard); err == nil {
+		t.Fatal("-update without -quick should error")
 	}
 }
 

@@ -3,6 +3,7 @@ package kplist
 import (
 	"errors"
 
+	"kplist/internal/graph"
 	"kplist/internal/workload"
 )
 
@@ -22,4 +23,8 @@ var (
 	// ErrUnknownFamily reports a WorkloadSpec.Family outside the
 	// registered generator families.
 	ErrUnknownFamily = workload.ErrUnknownFamily
+	// ErrInvalidMutation reports a Session.Apply mutation outside the
+	// graph's domain: an endpoint not in [0, N), a self-loop, or an
+	// unknown op. The whole batch is rejected and nothing changes.
+	ErrInvalidMutation = graph.ErrBadMutation
 )

@@ -50,6 +50,9 @@ type Config struct {
 	// experiments; empty uses a default ladder that keeps the dense
 	// families within the exact-listing budget.
 	WorkloadSizes []int
+	// DynN is the vertex count for the E12 dynamic-graph churn experiment
+	// (default 256, the acceptance-benchmark size).
+	DynN int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// assertTrackedExact checks every tracked size of d against a from-scratch
+// listing of an equal static graph, byte for byte.
+func assertTrackedExact(t *testing.T, d *DynGraph) {
+	t.Helper()
+	snap := d.Snapshot()
+	for _, p := range d.Tracked() {
+		want := snap.ListCliques(p)
+		got, ok := d.Cliques(p)
+		if !ok {
+			t.Fatalf("p=%d not tracked", p)
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("p=%d: maintained listing diverged: %d cliques vs %d from scratch",
+				p, len(got), len(want))
+		}
+		if n, _ := d.Count(p); n != int64(len(want)) {
+			t.Fatalf("p=%d: count %d, want %d", p, n, len(want))
+		}
+	}
+}
+
+func TestDynGraphBasicMutations(t *testing.T) {
+	// Path 0-1-2; closing the triangle then opening it again.
+	d := NewDynGraph(MustNew(4, []Edge{{0, 1}, {1, 2}}), DynConfig{}, 3)
+	if n, _ := d.Count(3); n != 0 {
+		t.Fatalf("initial triangle count %d", n)
+	}
+	delta, err := d.AddEdge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.AddedEdges) != 1 || len(delta.Cliques) != 1 || len(delta.Cliques[0].Added) != 1 {
+		t.Fatalf("closing the triangle: %+v", delta)
+	}
+	if got := delta.Cliques[0].Added[0]; !reflect.DeepEqual(got, Clique{0, 1, 2}) {
+		t.Fatalf("added clique %v", got)
+	}
+	if !reflect.DeepEqual(delta.Touched, []V{0, 2}) {
+		t.Fatalf("touched %v", delta.Touched)
+	}
+	assertTrackedExact(t, d)
+
+	delta, err = d.RemoveEdge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Cliques[0].Removed) != 1 || len(delta.Cliques[0].Added) != 0 {
+		t.Fatalf("opening the triangle: %+v", delta.Cliques[0])
+	}
+	if d.M() != 2 {
+		t.Fatalf("m=%d after add+remove", d.M())
+	}
+	assertTrackedExact(t, d)
+}
+
+func TestDynGraphBatchSemantics(t *testing.T) {
+	d := NewDynGraph(MustNew(5, []Edge{{0, 1}}), DynConfig{}, 3)
+
+	// Redundant ops are no-ops; last op per edge wins.
+	delta, err := d.ApplyBatch([]Mutation{
+		{MutAdd, Edge{0, 1}}, // already present
+		{MutDel, Edge{2, 3}}, // already absent
+		{MutAdd, Edge{1, 2}}, // effective insert
+		{MutAdd, Edge{3, 4}}, // inserted...
+		{MutDel, Edge{4, 3}}, // ...then deleted: net no-op
+		{MutDel, Edge{0, 1}}, // deleted...
+		{MutAdd, Edge{0, 1}}, // ...then re-added: net no-op
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(delta.AddedEdges, []Edge{{1, 2}}) || len(delta.RemovedEdges) != 0 {
+		t.Fatalf("effective delta: %+v", delta)
+	}
+	if delta.Effective() != 1 || !reflect.DeepEqual(delta.Touched, []V{1, 2}) {
+		t.Fatalf("effective/touched: %+v", delta)
+	}
+	assertTrackedExact(t, d)
+
+	// A fully redundant batch is a no-op with an empty (non-nil) delta.
+	delta, err = d.ApplyBatch([]Mutation{{MutAdd, Edge{0, 1}}, {MutDel, Edge{0, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Effective() != 0 || len(delta.Touched) != 0 || delta.Rebuilt {
+		t.Fatalf("no-op batch delta: %+v", delta)
+	}
+	if st := d.Stats(); st.Batches != 1 {
+		t.Fatalf("no-op batch counted: %+v", st)
+	}
+}
+
+func TestDynGraphRejectsBadMutations(t *testing.T) {
+	d := NewDynGraph(MustNew(3, []Edge{{0, 1}}), DynConfig{}, 3)
+	cases := [][]Mutation{
+		{{MutAdd, Edge{0, 3}}},                       // out of range
+		{{MutDel, Edge{-1, 0}}},                      // negative
+		{{MutAdd, Edge{1, 1}}},                       // self-loop
+		{{MutOp(9), Edge{0, 1}}},                     // unknown op
+		{{MutAdd, Edge{0, 2}}, {MutAdd, Edge{0, 5}}}, // one bad op rejects the batch
+	}
+	for i, muts := range cases {
+		if _, err := d.ApplyBatch(muts); err == nil {
+			t.Fatalf("case %d: bad batch accepted", i)
+		}
+	}
+	// The graph is untouched by rejected batches.
+	if d.M() != 1 || d.HasEdge(0, 2) {
+		t.Fatal("rejected batch modified the graph")
+	}
+	assertTrackedExact(t, d)
+}
+
+func TestDynGraphMultiplePs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ErdosRenyi(40, 0.25, rng)
+	d := NewDynGraph(g, DynConfig{}, 3, 4, 5)
+	if !reflect.DeepEqual(d.Tracked(), []int{3, 4, 5}) {
+		t.Fatalf("tracked %v", d.Tracked())
+	}
+	for i := 0; i < 30; i++ {
+		var muts []Mutation
+		for j := 0; j < 4; j++ {
+			u, v := V(rng.Intn(40)), V(rng.Intn(40))
+			if u == v {
+				continue
+			}
+			op := MutAdd
+			if rng.Intn(2) == 0 {
+				op = MutDel
+			}
+			muts = append(muts, Mutation{op, Edge{u, v}.Canon()})
+		}
+		if _, err := d.ApplyBatch(muts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertTrackedExact(t, d)
+	st := d.Stats()
+	if st.Incremental == 0 || st.Rebuilds != 0 {
+		t.Fatalf("small batches should stay incremental: %+v", st)
+	}
+}
+
+func TestDynGraphRebuildFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ErdosRenyi(64, 0.2, rng)
+	d := NewDynGraph(g, DynConfig{}, 3, 4)
+	// Delete a large fraction of the edges in one batch: this must cross
+	// both the absolute floor and the density fraction.
+	edges := g.Edges()
+	cut := max(DefaultRebuildMinBatch+1, int(DefaultRebuildFraction*float64(len(edges)))+1)
+	var muts []Mutation
+	for _, e := range edges[:cut] {
+		muts = append(muts, Mutation{MutDel, e})
+	}
+	delta, err := d.ApplyBatch(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Rebuilt {
+		t.Fatalf("batch of %d deletions (m=%d) did not trigger rebuild", cut, len(edges))
+	}
+	if delta.Cliques[0].Added != nil || delta.Cliques[0].Removed != nil {
+		t.Fatal("rebuild fallback should not report per-clique deltas")
+	}
+	if st := d.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	assertTrackedExact(t, d)
+
+	// With the fallback disabled the same batch size applies incrementally
+	// and lands on the identical listing.
+	d2 := NewDynGraph(g, DynConfig{RebuildFraction: -1}, 3, 4)
+	delta2, err := d2.ApplyBatch(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta2.Rebuilt {
+		t.Fatal("disabled fallback still rebuilt")
+	}
+	assertTrackedExact(t, d2)
+	for _, p := range []int{3, 4} {
+		a, _ := d.Cliques(p)
+		b, _ := d2.Cliques(p)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("p=%d: rebuild and incremental disagree", p)
+		}
+	}
+}
+
+func TestDynGraphTrackLater(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {0, 2}, {1, 2}})
+	d := NewDynGraph(g, DynConfig{})
+	if len(d.Tracked()) != 0 {
+		t.Fatal("untracked by default")
+	}
+	if _, ok := d.Count(3); ok {
+		t.Fatal("Count on untracked p")
+	}
+	if _, err := d.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	d.Track(3)
+	d.Track(3) // idempotent
+	d.Track(1) // ignored
+	if !reflect.DeepEqual(d.Tracked(), []int{3}) {
+		t.Fatalf("tracked %v", d.Tracked())
+	}
+	if _, err := d.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	assertTrackedExact(t, d)
+}
+
+func TestDynGraphSnapshotIsolation(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}})
+	d := NewDynGraph(g, DynConfig{})
+	s1 := d.Snapshot()
+	if s2 := d.Snapshot(); s1 != s2 {
+		t.Fatal("snapshot not cached between mutations")
+	}
+	if _, err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s3 := d.Snapshot()
+	if s1.M() != 1 || s3.M() != 2 {
+		t.Fatalf("snapshots m: %d then %d", s1.M(), s3.M())
+	}
+	// The original seed graph is never modified.
+	if g.M() != 1 || g.HasEdge(1, 2) {
+		t.Fatal("seed graph mutated")
+	}
+}
+
+func TestVisitCliquesThroughEdge(t *testing.T) {
+	// K4 on {0,1,2,3} plus pendant 4.
+	g := MustNew(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}})
+	var got []Clique
+	g.VisitCliquesThroughEdge(Edge{1, 0}, 3, func(c Clique) bool {
+		got = append(got, append(Clique(nil), c...))
+		return true
+	})
+	want := []Clique{{0, 1, 2}, {0, 1, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("triangles through {0,1}: %v, want %v", got, want)
+	}
+	if !g.HasCliqueThroughEdge(Edge{0, 1}, 4) {
+		t.Fatal("K4 through {0,1} not found")
+	}
+	if g.HasCliqueThroughEdge(Edge{3, 4}, 3) {
+		t.Fatal("no triangle contains the pendant edge")
+	}
+	if g.HasCliqueThroughEdge(Edge{0, 4}, 3) {
+		t.Fatal("absent edge should yield nothing")
+	}
+	// p=2: the edge itself.
+	n := 0
+	g.VisitCliquesThroughEdge(Edge{3, 4}, 2, func(c Clique) bool {
+		if !reflect.DeepEqual(append(Clique(nil), c...), Clique{3, 4}) {
+			t.Fatalf("p=2 clique %v", c)
+		}
+		n++
+		return true
+	})
+	if n != 1 {
+		t.Fatalf("p=2 yielded %d cliques", n)
+	}
+	// Early abort propagates.
+	if g.VisitCliquesThroughEdge(Edge{0, 1}, 3, func(Clique) bool { return false }) {
+		t.Fatal("abort not propagated")
+	}
+}
+
+// TestDynGraphRandomizedVsRebuild is the in-package metamorphic anchor: a
+// long random mutation history over a mid-density graph, checked against
+// from-scratch listings (workers 1 and 8) after every batch.
+func TestDynGraphRandomizedVsRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := ErdosRenyi(32, 0.3, rng)
+	d := NewDynGraph(g, DynConfig{}, 3, 4)
+	for batch := 0; batch < 20; batch++ {
+		var muts []Mutation
+		for j := 0; j < 6; j++ {
+			u, v := V(rng.Intn(32)), V(rng.Intn(32))
+			if u == v {
+				continue
+			}
+			op := MutAdd
+			if rng.Intn(2) == 0 {
+				op = MutDel
+			}
+			muts = append(muts, Mutation{op, Edge{u, v}.Canon()})
+		}
+		if _, err := d.ApplyBatch(muts); err != nil {
+			t.Fatal(err)
+		}
+		snap := d.Snapshot()
+		for _, p := range []int{3, 4} {
+			got, _ := d.Cliques(p)
+			for _, workers := range []int{1, 8} {
+				want := snap.ListCliquesWorkers(p, workers)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("batch %d p=%d workers=%d: diverged", batch, p, workers)
+				}
+			}
+		}
+	}
+}

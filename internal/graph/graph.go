@@ -47,6 +47,13 @@ func (e Edge) String() string {
 	return fmt.Sprintf("{%d,%d}", e.U, e.V)
 }
 
+// Pack packs a canonical edge into one sortable uint64 key (U in the high
+// half); UnpackEdge reverses it. Callers must canonicalize first.
+func (e Edge) Pack() uint64 { return uint64(uint32(e.U))<<32 | uint64(uint32(e.V)) }
+
+// UnpackEdge reverses Edge.Pack.
+func UnpackEdge(k uint64) Edge { return Edge{U: V(k >> 32), V: V(uint32(k))} }
+
 // Graph is an immutable undirected simple graph with vertices [0, n).
 // Neighbor lists are sorted ascending, enabling O(log d) adjacency tests
 // and linear-time sorted intersections.

@@ -155,6 +155,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.pool.Invalidate(id)
+	s.mutLocks.Delete(id) // IDs never recycle, so the lock is garbage now
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -259,14 +260,144 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// mutationWire is the wire form of one edge mutation.
+type mutationWire struct {
+	// Op is "add" or "remove" (alias "del").
+	Op string `json:"op"`
+	U  int32  `json:"u"`
+	V  int32  `json:"v"`
+}
+
+// patchRequest is the PATCH /v1/graphs/{id}/edges body.
+type patchRequest struct {
+	Mutations []mutationWire `json:"mutations"`
+}
+
+// patchResponse reports what one mutation batch did.
+type patchResponse struct {
+	Graph string `json:"graph"`
+	// Mutations echoes the batch length; AddedEdges/RemovedEdges count the
+	// effective changes (redundant ops are no-ops).
+	Mutations    int  `json:"mutations"`
+	AddedEdges   int  `json:"addedEdges"`
+	RemovedEdges int  `json:"removedEdges"`
+	Rebuilt      bool `json:"rebuilt"`
+	// InvalidatedResults counts the session cache entries the batch
+	// dropped; untouched listings stay served from cache.
+	InvalidatedResults int `json:"invalidatedResults"`
+	N                  int `json:"n"`
+	M                  int `json:"m"`
+}
+
+// handlePatchEdges applies a batch of edge mutations to a registered
+// graph through its pooled session's incremental clique-delta engine,
+// then swaps the mutated snapshot into the registry so the change
+// survives session eviction. Affected cached results are invalidated
+// selectively inside Session.Apply — a mutation burst never flushes the
+// whole working set.
+func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rg, err := s.reg.Get(id)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var req patchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad mutation body: %w", err))
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty mutation batch"))
+		return
+	}
+	if len(req.Mutations) > s.cfg.MaxMutationBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d mutations exceeds limit %d", len(req.Mutations), s.cfg.MaxMutationBatch))
+		return
+	}
+	muts := make([]kplist.Mutation, len(req.Mutations))
+	for i, mw := range req.Mutations {
+		switch mw.Op {
+		case "add":
+			muts[i] = kplist.AddEdgeMutation(mw.U, mw.V)
+		case "remove", "del":
+			muts[i] = kplist.DelEdgeMutation(mw.U, mw.V)
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("mutation %d: unknown op %q (want \"add\" or \"remove\")", i, mw.Op))
+			return
+		}
+	}
+
+	// Serialize acquire→apply→publish per graph. The lock must precede the
+	// acquire: otherwise two PATCHes racing a pool eviction can each open a
+	// session from the same pre-mutation registry graph, and the second
+	// publish silently drops the first batch. Held across the acquire, the
+	// second PATCH's open callback reads the registry only after the first
+	// has published.
+	unlock := s.lockMutations(id)
+	defer unlock()
+	sess, release, err := s.acquireChecked(r.Context(), id, rg.G)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer release()
+	start := time.Now()
+	ar, err := sess.Apply(r.Context(), muts)
+	if err != nil {
+		if errors.Is(err, kplist.ErrInvalidMutation) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.met.recordMutation(len(muts), ar.Rebuilt, time.Since(start))
+
+	// Publish the mutated snapshot: registry first (future session opens
+	// must see it), then evict any pooled session that is not the one just
+	// mutated — a concurrent eviction may have reopened from the stale
+	// registry graph between our acquire and the update.
+	if _, err := s.reg.UpdateGraph(id, ar.Graph); err != nil {
+		// The graph was deleted mid-flight; drop any pooled successor.
+		s.pool.Invalidate(id)
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.pool.InvalidateOther(id, sess)
+
+	writeJSON(w, http.StatusOK, patchResponse{
+		Graph:              id,
+		Mutations:          len(muts),
+		AddedEdges:         ar.AddedEdges,
+		RemovedEdges:       ar.RemovedEdges,
+		Rebuilt:            ar.Rebuilt,
+		InvalidatedResults: ar.InvalidatedResults,
+		N:                  ar.N,
+		M:                  ar.M,
+	})
+}
+
 // acquireChecked acquires id's pooled session and then re-checks the
 // registry: a DELETE racing between the handler's registry lookup and the
 // pool acquire would otherwise re-insert a session for a removed graph
 // that no future request can ever hit (a leak until LRU pressure). Seeing
 // the graph gone after the acquire, it invalidates the fresh entry and
-// reports not-found.
+// reports not-found. A pool miss opens on the registry's graph read at
+// open time (falling back to the handler's snapshot if the graph vanished
+// mid-open — the post-acquire re-check catches that), so a PATCH landing
+// between the handler's lookup and the open never freezes a pre-mutation
+// graph into the pool.
 func (s *Server) acquireChecked(ctx context.Context, id string, g *kplist.Graph) (*kplist.Session, func(), error) {
-	sess, release, err := s.pool.Acquire(ctx, id, g)
+	sess, release, err := s.pool.Acquire(ctx, id, func() *kplist.Graph {
+		if cur, err := s.reg.Get(id); err == nil {
+			return cur.G
+		}
+		return g
+	})
 	if err != nil {
 		return nil, nil, err
 	}

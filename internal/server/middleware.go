@@ -120,6 +120,14 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[string]map[int]int64 // route → status → count
 	latency  map[string]*histogram    // route → latency histogram
+
+	// Mutation-path counters (the PATCH /edges handler): applied edge
+	// mutations, batches split by how the incremental engine handled them,
+	// and the clique-delta (Session.Apply) latency histogram.
+	mutOps         int64
+	mutIncremental int64
+	mutRebuild     int64
+	mutLatency     *histogram
 }
 
 func newMetrics() *metrics {
@@ -127,7 +135,23 @@ func newMetrics() *metrics {
 		started:  time.Now(),
 		requests: make(map[string]map[int]int64),
 		latency:  make(map[string]*histogram),
+		mutLatency: &histogram{
+			buckets: make([]int64, len(latencyBounds)+1),
+		},
 	}
+}
+
+// recordMutation accounts one applied mutation batch.
+func (m *metrics) recordMutation(ops int, rebuilt bool, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mutOps += int64(ops)
+	if rebuilt {
+		m.mutRebuild++
+	} else {
+		m.mutIncremental++
+	}
+	m.mutLatency.observe(elapsed.Seconds())
 }
 
 func (m *metrics) record(route string, status int, elapsed time.Duration) {
@@ -235,5 +259,24 @@ func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
 		fmt.Fprintf(w, "kplistd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
 		fmt.Fprintf(w, "kplistd_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
 		fmt.Fprintf(w, "kplistd_request_duration_seconds_count{route=%q} %d\n", route, h.count)
+	}
+
+	fmt.Fprintf(w, "# TYPE kplistd_mutations_total counter\n")
+	fmt.Fprintf(w, "kplistd_mutations_total %d\n", m.mutOps)
+	fmt.Fprintf(w, "# TYPE kplistd_mutation_batches_total counter\n")
+	fmt.Fprintf(w, "kplistd_mutation_batches_total{mode=\"incremental\"} %d\n", m.mutIncremental)
+	fmt.Fprintf(w, "kplistd_mutation_batches_total{mode=\"rebuild\"} %d\n", m.mutRebuild)
+	fmt.Fprintf(w, "# TYPE kplistd_mutation_apply_seconds histogram\n")
+	{
+		h := m.mutLatency
+		var cum int64
+		for i, bound := range latencyBounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "kplistd_mutation_apply_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+		}
+		cum += h.buckets[len(latencyBounds)]
+		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_sum %g\n", h.sum)
+		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_count %d\n", h.count)
 	}
 }

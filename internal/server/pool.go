@@ -68,15 +68,18 @@ func NewSessionPool(capacity int, cfg kplist.SessionConfig) *SessionPool {
 	}
 }
 
-// Acquire returns the pooled session for id, opening one via g when
-// absent, plus a release func the caller must invoke once done querying.
-// Concurrent first acquires for the same id coalesce onto one opening;
-// the expensive open (degeneracy peel) runs outside the pool lock. A
-// caller coalescing onto someone else's open honors ctx while waiting
-// (the opener itself always finishes the open — others depend on it), so
-// a short-deadline request never pins its admission slot for the full
-// preprocessing of a large graph.
-func (p *SessionPool) Acquire(ctx context.Context, id string, g *kplist.Graph) (*kplist.Session, func(), error) {
+// Acquire returns the pooled session for id, opening one when absent,
+// plus a release func the caller must invoke once done querying. The
+// graph to open on comes from the `open` callback, invoked at open time —
+// not captured at request-decode time — so a mutation (PATCH) that lands
+// between the caller's registry lookup and the open never freezes a
+// pre-mutation graph into the pool. Concurrent first acquires for the
+// same id coalesce onto one opening; the expensive open (degeneracy peel)
+// runs outside the pool lock. A caller coalescing onto someone else's
+// open honors ctx while waiting (the opener itself always finishes the
+// open — others depend on it), so a short-deadline request never pins its
+// admission slot for the full preprocessing of a large graph.
+func (p *SessionPool) Acquire(ctx context.Context, id string, open func() *kplist.Graph) (*kplist.Session, func(), error) {
 	p.mu.Lock()
 	if e, ok := p.entries[id]; ok {
 		e.refs++
@@ -105,24 +108,28 @@ func (p *SessionPool) Acquire(ctx context.Context, id string, g *kplist.Graph) (
 	p.evictOverflowLocked()
 	p.mu.Unlock()
 
-	e.sess = kplist.NewSession(g, p.cfg)
+	e.sess = kplist.NewSession(open(), p.cfg)
 	close(e.ready)
 	return e.sess, func() { p.release(e) }, nil
+}
+
+// evictLocked removes e from the pool: new acquires will open fresh, the
+// session closes when the last reference releases.
+func (p *SessionPool) evictLocked(e *poolEntry) {
+	p.lru.Remove(e.elem)
+	delete(p.entries, e.id)
+	e.evicted = true
+	p.evictions++
+	if e.refs == 0 {
+		p.closeRetiredLocked(e)
+	}
 }
 
 // evictOverflowLocked trims the LRU tail down to capacity. Evicted entries
 // leave the map immediately; their sessions close on last release.
 func (p *SessionPool) evictOverflowLocked() {
 	for p.lru.Len() > p.capacity {
-		back := p.lru.Back()
-		e := back.Value.(*poolEntry)
-		p.lru.Remove(back)
-		delete(p.entries, e.id)
-		e.evicted = true
-		p.evictions++
-		if e.refs == 0 {
-			p.closeRetiredLocked(e)
-		}
+		p.evictLocked(p.lru.Back().Value.(*poolEntry))
 	}
 }
 
@@ -151,17 +158,33 @@ func (p *SessionPool) closeRetiredLocked(e *poolEntry) {
 func (p *SessionPool) Invalidate(id string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if e, ok := p.entries[id]; ok {
+		p.evictLocked(e)
+	}
+}
+
+// InvalidateOther evicts id's pooled session unless it is exactly sess —
+// the mutation path's consistency hook. A PATCH applies to the session it
+// acquired; if that session was concurrently evicted and a fresh one
+// opened from the registry's pre-mutation graph, the fresh session would
+// keep serving the old prefix to every later request. Called after the
+// registry swap, this evicts such a stale entry (including one still
+// opening) so the next acquire reopens from the updated registry graph.
+func (p *SessionPool) InvalidateOther(id string, sess *kplist.Session) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	e, ok := p.entries[id]
 	if !ok {
 		return
 	}
-	p.lru.Remove(e.elem)
-	delete(p.entries, id)
-	e.evicted = true
-	p.evictions++
-	if e.refs == 0 {
-		p.closeRetiredLocked(e)
+	select {
+	case <-e.ready:
+		if e.sess == sess {
+			return // the pooled session is the one just mutated — current
+		}
+	default: // still opening: graph provenance unknown, evict to be safe
 	}
+	p.evictLocked(e)
 }
 
 // Contains reports whether id currently has a pooled session (test hook).

@@ -98,6 +98,26 @@ func (r *Registry) Get(id string) (*RegisteredGraph, error) {
 	return rg, nil
 }
 
+// UpdateGraph swaps id's graph for a mutated successor, refreshing the
+// wire-visible edge count. The planted-clique annotation is dropped — a
+// mutation may destroy the structural guarantee the generator made.
+// Future session opens (after pool eviction) see the successor, so
+// mutations survive the session working set.
+func (r *Registry) UpdateGraph(id string, g *kplist.Graph) (GraphInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rg, ok := r.graphs[id]
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("%w: %q", ErrGraphNotFound, id)
+	}
+	info := rg.Info
+	info.N = g.N()
+	info.M = g.M()
+	info.Planted = 0
+	r.graphs[id] = &RegisteredGraph{Info: info, G: g}
+	return info, nil
+}
+
 // Remove unregisters id. The caller is responsible for invalidating any
 // pooled session for it.
 func (r *Registry) Remove(id string) error {

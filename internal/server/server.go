@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"kplist"
@@ -41,6 +42,9 @@ type Config struct {
 	MaxUploadEdges  int
 	MaxBodyBytes    int64
 	MaxBatchQueries int
+	// MaxMutationBatch bounds one PATCH /edges request's mutation count
+	// (default 4096).
+	MaxMutationBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchQueries <= 0 {
 		c.MaxBatchQueries = 1024
 	}
+	if c.MaxMutationBatch <= 0 {
+		c.MaxMutationBatch = 4096
+	}
 	return c
 }
 
@@ -87,6 +94,21 @@ type Server struct {
 	adm  *admission
 	met  *metrics
 	mux  *http.ServeMux
+
+	// mutLocks serializes the apply→registry-publish critical section of
+	// PATCH /edges per graph ID: without it, two concurrent PATCHes could
+	// commit their Registry.UpdateGraph calls in the opposite order of
+	// their (session-serialized) Applies, leaving the registry holding the
+	// older snapshot. Entries are dropped on DELETE; IDs never recycle.
+	mutLocks sync.Map // graph ID → *sync.Mutex
+}
+
+// lockMutations takes id's mutation lock and returns the unlock.
+func (s *Server) lockMutations(id string) func() {
+	mu, _ := s.mutLocks.LoadOrStore(id, &sync.Mutex{})
+	m := mu.(*sync.Mutex)
+	m.Lock()
+	return m.Unlock
 }
 
 // New builds a Server from cfg.
@@ -110,6 +132,7 @@ func New(cfg Config) *Server {
 	s.route("DELETE /v1/graphs/{id}", http.HandlerFunc(s.handleDelete), true)
 	s.route("POST /v1/graphs/{id}/query", http.HandlerFunc(s.handleQuery), true)
 	s.route("GET /v1/graphs/{id}/cliques", http.HandlerFunc(s.handleCliques), true)
+	s.route("PATCH /v1/graphs/{id}/edges", http.HandlerFunc(s.handlePatchEdges), true)
 	return s
 }
 

@@ -1,0 +1,277 @@
+//go:build soak
+
+package server_test
+
+// The opt-in server soak: 64 concurrent clients hammer one graph with a
+// mix of queries and PATCH mutations for 60 seconds (5 under -short),
+// asserting zero stale reads and a stable goroutine count at exit. Run
+// with:
+//
+//	go test -race -tags soak -run TestServerSoak ./internal/server
+//
+// Stale-read definition: every response must be consistent with some
+// linearized prefix of the mutation history. Mutator clients own disjoint
+// three-vertex regions, so after a client's PATCH response returns, the
+// presence (or absence) of its region's triangle is determined for every
+// later linearized query — read-your-writes through the selective cache
+// invalidation, the session pool and the registry swap.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kplist"
+	"kplist/internal/server"
+)
+
+const (
+	soakMutators = 16 // one three-vertex region each: vertices [3i, 3i+2]
+	soakReaders  = 48
+	soakN        = 128 // region vertices [0,48), background [48,128)
+)
+
+func TestServerSoak(t *testing.T) {
+	duration := 60 * time.Second
+	if testing.Short() {
+		duration = 5 * time.Second
+	}
+	before := runtime.NumGoroutine()
+
+	_, ts := newTestServer(t, func(c *server.Config) {
+		c.MaxInFlight = 128
+		c.QueueLimit = 2048
+		c.DefaultDeadline = time.Minute
+	})
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+
+	// Background edges among vertices ≥ 48 give the reader queries a
+	// population; region vertices stay untouched by the seed so each
+	// mutator fully owns its triangle.
+	rng := rand.New(rand.NewSource(99))
+	var edges [][2]int32
+	for i := 0; i < 400; i++ {
+		u := int32(48 + rng.Intn(soakN-48))
+		v := int32(48 + rng.Intn(soakN-48))
+		if u != v {
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	id := registerEdgeGraph(t, ts.URL, soakN, edges)
+
+	var (
+		wg        sync.WaitGroup
+		stop      = make(chan struct{})
+		staleMu   sync.Mutex
+		staleErrs []string
+		requests  atomic.Int64
+	)
+	reportStale := func(format string, args ...any) {
+		staleMu.Lock()
+		if len(staleErrs) < 10 {
+			staleErrs = append(staleErrs, fmt.Sprintf(format, args...))
+		}
+		staleMu.Unlock()
+	}
+
+	patch := func(muts ...map[string]any) error {
+		resp, body := patchJSONClient(t, client, ts.URL+"/v1/graphs/"+id+"/edges", mutBody(muts...))
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("patch status %d: %s", resp.StatusCode, body)
+		}
+		return nil
+	}
+	// listTriangles returns the served triangle listing via the query
+	// endpoint (includeCliques).
+	listTriangles := func(seed int64) ([]kplist.Clique, error) {
+		resp, body := postJSONClient(t, client, ts.URL+"/v1/graphs/"+id+"/query",
+			map[string]any{"p": 3, "algo": "congested-clique", "seed": seed, "includeCliques": true})
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("query status %d: %s", resp.StatusCode, body)
+		}
+		var qr struct {
+			Results []struct {
+				CliqueList []kplist.Clique `json:"cliqueList"`
+				Error      string          `json:"error"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(body, &qr); err != nil {
+			return nil, err
+		}
+		if len(qr.Results) != 1 || qr.Results[0].Error != "" {
+			return nil, fmt.Errorf("query results: %s", body)
+		}
+		return qr.Results[0].CliqueList, nil
+	}
+	hasTriangle := func(cs []kplist.Clique, a, b, c int32) bool {
+		for _, cl := range cs {
+			if len(cl) == 3 && cl[0] == a && cl[1] == b && cl[2] == c {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Mutator clients: toggle the owned triangle and check read-your-writes
+	// after every PATCH.
+	for i := 0; i < soakMutators; i++ {
+		wg.Add(1)
+		go func(region int) {
+			defer wg.Done()
+			a, b, c := int32(3*region), int32(3*region+1), int32(3*region+2)
+			closed := false
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if !closed {
+					err = patch(mut("add", int(a), int(b)), mut("add", int(b), int(c)), mut("add", int(a), int(c)))
+				} else {
+					err = patch(mut("remove", int(a), int(b)))
+				}
+				if err != nil {
+					reportStale("region %d: %v", region, err)
+					return
+				}
+				closed = !closed
+				requests.Add(1)
+				cs, err := listTriangles(int64(region))
+				if err != nil {
+					reportStale("region %d: %v", region, err)
+					return
+				}
+				requests.Add(1)
+				if got := hasTriangle(cs, a, b, c); got != closed {
+					reportStale("region %d iter %d: stale read — triangle present=%v, want %v",
+						region, iter, got, closed)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Reader clients: mixed p queries and NDJSON streaming; responses must
+	// be well-formed, with triangle listings never exceeding the reachable
+	// population (16 region triangles + the static background census).
+	bgTriangles := backgroundTriangleCount(t, soakN, edges)
+	for i := 0; i < soakReaders; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cs, err := listTriangles(seed % 4)
+				if err != nil {
+					reportStale("reader %d: %v", seed, err)
+					return
+				}
+				requests.Add(1)
+				regionCount := 0
+				for _, cl := range cs {
+					if cl[2] < 48 {
+						regionCount++
+					}
+				}
+				staticCount := len(cs) - regionCount
+				if regionCount > soakMutators || staticCount != bgTriangles {
+					reportStale("reader %d: listing outside the reachable set (region=%d static=%d want static=%d)",
+						seed, regionCount, staticCount, bgTriangles)
+					return
+				}
+			}
+		}(int64(i))
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	staleMu.Lock()
+	for _, e := range staleErrs {
+		t.Error(e)
+	}
+	staleMu.Unlock()
+	if n := requests.Load(); n < int64(soakMutators+soakReaders) {
+		t.Fatalf("soak made only %d requests", n)
+	}
+	t.Logf("soak: %d requests over %v", requests.Load(), duration)
+
+	// Goroutine stability: after the clients drain and the server closes,
+	// the count settles back near the pre-test level.
+	client.CloseIdleConnections()
+	ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+8 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("goroutine count did not settle: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// backgroundTriangleCount computes the static triangle census of the
+// seed's background edges (region vertices hold no seed edges, so the
+// background census never changes during the soak).
+func backgroundTriangleCount(t *testing.T, n int, edges [][2]int32) int {
+	t.Helper()
+	es := make([]kplist.Edge, len(edges))
+	for i, e := range edges {
+		es[i] = kplist.Edge{U: e[0], V: e[1]}
+	}
+	g, err := kplist.NewGraph(n, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(kplist.GroundTruthCount(g, 3))
+}
+
+// patchJSONClient / postJSONClient are the shared-client variants of the
+// helpers in mutation_endpoint_test.go (the soak reuses one transport so
+// 64 clients don't exhaust ephemeral ports).
+func patchJSONClient(t *testing.T, c *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	return doJSON(t, c, http.MethodPatch, url, body)
+}
+
+func postJSONClient(t *testing.T, c *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	return doJSON(t, c, http.MethodPost, url, body)
+}
+
+func doJSON(t *testing.T, c *http.Client, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}

@@ -1,0 +1,257 @@
+package workload
+
+// MutationTrace generation: seeded, deterministic schedules of edge
+// mutations against a generated workload instance. Traces are the dynamic
+// half of the scenario subsystem — each schedule stresses a different
+// path of the incremental clique-delta engine (graph.DynGraph): steady
+// growth, steady decay, mixed churn, and an adversarial schedule whose
+// batches deliberately exceed the engine's density threshold so the
+// full-rebuild fallback is exercised, not just reachable.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kplist/internal/graph"
+)
+
+// Schedule names accepted by GenerateTrace. TraceSchedules returns them in
+// stable order.
+const (
+	// ScheduleInsert adds edges absent from the evolving graph.
+	ScheduleInsert = "insert"
+	// ScheduleDelete removes edges present in the evolving graph.
+	ScheduleDelete = "delete"
+	// ScheduleChurn mixes inserts and deletes per mutation.
+	ScheduleChurn = "churn"
+	// ScheduleRebuildTrigger sizes every batch above the incremental
+	// engine's rebuild threshold: alternating mass deletions and
+	// re-insertions that force the fallback path.
+	ScheduleRebuildTrigger = "rebuild-trigger"
+)
+
+// TraceSchedules returns the registered schedule names in stable order.
+func TraceSchedules() []string {
+	return []string{ScheduleChurn, ScheduleDelete, ScheduleInsert, ScheduleRebuildTrigger}
+}
+
+// TraceSpec selects and sizes one mutation trace. The zero-valued knobs
+// take the documented defaults; GenerateTrace is a pure function of the
+// spec and the graph it is generated against.
+type TraceSpec struct {
+	// Schedule is one of the Schedule* constants.
+	Schedule string `json:"schedule"`
+	// Batches is the number of mutation batches (default 4).
+	Batches int `json:"batches,omitempty"`
+	// BatchSize is the number of mutations per batch (default 16). The
+	// rebuild-trigger schedule raises it per batch to whatever the
+	// engine's threshold demands.
+	BatchSize int `json:"batchSize,omitempty"`
+	// Seed drives all randomness.
+	Seed int64 `json:"seed"`
+}
+
+// MutationTrace is a generated schedule of mutation batches. Every
+// mutation is effective against the evolving graph it was generated for:
+// inserts name absent edges, deletes name present ones, so applying the
+// trace in order changes exactly len(batch) edges per batch.
+type MutationTrace struct {
+	Spec    TraceSpec
+	Batches [][]graph.Mutation
+}
+
+// Mutations returns the total mutation count across batches.
+func (tr *MutationTrace) Mutations() int {
+	n := 0
+	for _, b := range tr.Batches {
+		n += len(b)
+	}
+	return n
+}
+
+func (s TraceSpec) normalize() (TraceSpec, error) {
+	if s.Batches == 0 {
+		s.Batches = 4
+	}
+	if s.BatchSize == 0 {
+		s.BatchSize = 16
+	}
+	if s.Batches < 0 || s.BatchSize < 0 {
+		return s, fmt.Errorf("workload: negative knob in trace spec %+v", s)
+	}
+	switch s.Schedule {
+	case ScheduleInsert, ScheduleDelete, ScheduleChurn, ScheduleRebuildTrigger:
+	default:
+		return s, fmt.Errorf("workload: unknown trace schedule %q (known: %v)", s.Schedule, TraceSchedules())
+	}
+	return s, nil
+}
+
+// traceState mirrors the evolving edge set so every generated mutation is
+// effective: edges holds the present edges (packed, position-indexed for
+// uniform removal), present maps a packed edge to its slot.
+type traceState struct {
+	n       int
+	edges   []uint64
+	present map[uint64]int
+	rng     *rand.Rand
+}
+
+func newTraceState(g *graph.Graph, rng *rand.Rand) *traceState {
+	es := g.Edges()
+	st := &traceState{n: g.N(), edges: make([]uint64, 0, len(es)), present: make(map[uint64]int, len(es)), rng: rng}
+	for _, e := range es {
+		st.present[e.Pack()] = len(st.edges)
+		st.edges = append(st.edges, e.Pack())
+	}
+	return st
+}
+
+// pickAbsent samples a uniformly random non-edge by rejection; false when
+// the graph is too small or (nearly) complete.
+func (st *traceState) pickAbsent() (graph.Edge, bool) {
+	if st.n < 2 {
+		return graph.Edge{}, false
+	}
+	maxEdges := st.n * (st.n - 1) / 2
+	if len(st.edges) >= maxEdges {
+		return graph.Edge{}, false
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		u := graph.V(st.rng.Intn(st.n))
+		v := graph.V(st.rng.Intn(st.n))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canon()
+		if _, ok := st.present[e.Pack()]; !ok {
+			return e, true
+		}
+	}
+	return graph.Edge{}, false
+}
+
+// pickPresent samples a uniformly random present edge; false when empty.
+func (st *traceState) pickPresent() (graph.Edge, bool) {
+	if len(st.edges) == 0 {
+		return graph.Edge{}, false
+	}
+	return graph.UnpackEdge(st.edges[st.rng.Intn(len(st.edges))]), true
+}
+
+func (st *traceState) add(e graph.Edge) {
+	k := e.Pack()
+	if _, ok := st.present[k]; ok {
+		return
+	}
+	st.present[k] = len(st.edges)
+	st.edges = append(st.edges, k)
+}
+
+func (st *traceState) del(e graph.Edge) {
+	k := e.Pack()
+	i, ok := st.present[k]
+	if !ok {
+		return
+	}
+	last := len(st.edges) - 1
+	st.edges[i] = st.edges[last]
+	st.present[st.edges[i]] = i
+	st.edges = st.edges[:last]
+	delete(st.present, k)
+}
+
+func (st *traceState) apply(m graph.Mutation) {
+	if m.Op == graph.MutAdd {
+		st.add(m.Edge)
+	} else {
+		st.del(m.Edge)
+	}
+}
+
+// GenerateTrace builds the mutation trace described by spec against g:
+// the batches are valid to apply, in order, starting from a graph equal
+// to g. It is deterministic — the same g and spec always yield the same
+// trace. Batches may come up short when the schedule runs out of material
+// (no edges left to delete, graph complete).
+func GenerateTrace(g *graph.Graph, spec TraceSpec) (*MutationTrace, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	st := newTraceState(g, rand.New(rand.NewSource(spec.Seed)))
+	tr := &MutationTrace{Spec: spec}
+	for b := 0; b < spec.Batches; b++ {
+		var batch []graph.Mutation
+		switch spec.Schedule {
+		case ScheduleInsert:
+			batch = pickBatch(st, spec.BatchSize, func() (graph.Mutation, bool) {
+				e, ok := st.pickAbsent()
+				return graph.Mutation{Op: graph.MutAdd, Edge: e}, ok
+			})
+		case ScheduleDelete:
+			batch = pickBatch(st, spec.BatchSize, func() (graph.Mutation, bool) {
+				e, ok := st.pickPresent()
+				return graph.Mutation{Op: graph.MutDel, Edge: e}, ok
+			})
+		case ScheduleChurn:
+			batch = pickBatch(st, spec.BatchSize, func() (graph.Mutation, bool) {
+				if st.rng.Intn(2) == 0 {
+					e, ok := st.pickAbsent()
+					if ok {
+						return graph.Mutation{Op: graph.MutAdd, Edge: e}, true
+					}
+				}
+				e, ok := st.pickPresent()
+				return graph.Mutation{Op: graph.MutDel, Edge: e}, ok
+			})
+		case ScheduleRebuildTrigger:
+			// A batch big enough that the incremental engine must rebuild:
+			// past both the absolute floor and the density fraction of the
+			// evolving edge count. Even batches mass-delete, odd batches
+			// re-insert absent edges, so the graph never drains for good.
+			size := max(spec.BatchSize,
+				graph.DefaultRebuildMinBatch+1,
+				int(graph.DefaultRebuildFraction*float64(len(st.edges)))+1)
+			if b%2 == 0 {
+				batch = pickBatch(st, size, func() (graph.Mutation, bool) {
+					e, ok := st.pickPresent()
+					return graph.Mutation{Op: graph.MutDel, Edge: e}, ok
+				})
+			} else {
+				batch = pickBatch(st, size, func() (graph.Mutation, bool) {
+					e, ok := st.pickAbsent()
+					return graph.Mutation{Op: graph.MutAdd, Edge: e}, ok
+				})
+			}
+		}
+		tr.Batches = append(tr.Batches, batch)
+	}
+	return tr, nil
+}
+
+// pickBatch draws up to size effective mutations, applying each to the
+// mirror as it goes so later picks see the earlier ones. A batch touches
+// each edge at most once — a churn batch never deletes an edge and then
+// re-adds it — so its net effect is exactly len(batch) edge changes and
+// is independent of the order the mutations are applied in.
+func pickBatch(st *traceState, size int, pick func() (graph.Mutation, bool)) []graph.Mutation {
+	batch := make([]graph.Mutation, 0, size)
+	touched := make(map[uint64]bool, size)
+	misses := 0
+	for len(batch) < size && misses < 64 {
+		m, ok := pick()
+		if !ok {
+			break
+		}
+		if k := m.Edge.Pack(); !touched[k] {
+			touched[k] = true
+			st.apply(m)
+			batch = append(batch, m)
+			misses = 0
+		} else {
+			misses++
+		}
+	}
+	return batch
+}

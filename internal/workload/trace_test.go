@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	inst := MustGenerate(DefaultSpec(FamilyPlantedClique, 64, 3))
+	for _, sched := range TraceSchedules() {
+		spec := TraceSpec{Schedule: sched, Batches: 3, BatchSize: 8, Seed: 11}
+		a, err := GenerateTrace(inst.G, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		b, err := GenerateTrace(inst.G, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: trace not deterministic under seed", sched)
+		}
+		if len(a.Batches) != 3 {
+			t.Fatalf("%s: %d batches", sched, len(a.Batches))
+		}
+	}
+}
+
+func TestGenerateTraceEffectiveness(t *testing.T) {
+	// Every generated mutation must be effective: applying a batch changes
+	// exactly len(batch) edges.
+	inst := MustGenerate(DefaultSpec(FamilyStochasticBlock, 48, 5))
+	for _, sched := range TraceSchedules() {
+		tr, err := GenerateTrace(inst.G, TraceSpec{Schedule: sched, Batches: 4, BatchSize: 10, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		d := graph.NewDynGraph(inst.G, graph.DynConfig{})
+		for i, batch := range tr.Batches {
+			delta, err := d.ApplyBatch(batch)
+			if err != nil {
+				t.Fatalf("%s batch %d: %v", sched, i, err)
+			}
+			if delta.Effective() != len(batch) {
+				t.Fatalf("%s batch %d: %d mutations but %d effective",
+					sched, i, len(batch), delta.Effective())
+			}
+			switch sched {
+			case ScheduleInsert:
+				if len(delta.RemovedEdges) != 0 {
+					t.Fatalf("insert schedule removed edges")
+				}
+			case ScheduleDelete:
+				if len(delta.AddedEdges) != 0 {
+					t.Fatalf("delete schedule added edges")
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateTraceRebuildTrigger(t *testing.T) {
+	inst := MustGenerate(DefaultSpec(FamilyKronecker, 128, 9))
+	tr, err := GenerateTrace(inst.G, TraceSpec{Schedule: ScheduleRebuildTrigger, Batches: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDynGraph(inst.G, graph.DynConfig{}, 3)
+	for i, batch := range tr.Batches {
+		delta, err := d.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if !delta.Rebuilt {
+			t.Fatalf("batch %d of %d mutations did not trigger the rebuild fallback (m=%d)",
+				i, len(batch), d.M())
+		}
+	}
+	if st := d.Stats(); st.Rebuilds != int64(len(tr.Batches)) || st.Incremental != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestGenerateTraceDrainsGracefully(t *testing.T) {
+	// A delete trace longer than the edge supply comes up short, not wrong.
+	g := graph.MustNew(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	tr, err := GenerateTrace(g, TraceSpec{Schedule: ScheduleDelete, Batches: 3, BatchSize: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mutations() != 2 {
+		t.Fatalf("drained trace has %d mutations, want 2", tr.Mutations())
+	}
+	// Insert traces on a complete graph likewise.
+	tr, err = GenerateTrace(graph.Complete(4), TraceSpec{Schedule: ScheduleInsert, Batches: 2, BatchSize: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Mutations() != 0 {
+		t.Fatalf("complete graph grew %d inserts", tr.Mutations())
+	}
+}
+
+func TestGenerateTraceRejectsBadSpecs(t *testing.T) {
+	g := graph.MustNew(4, nil)
+	for _, spec := range []TraceSpec{
+		{Schedule: "nope"},
+		{},
+		{Schedule: ScheduleChurn, Batches: -1},
+		{Schedule: ScheduleChurn, BatchSize: -2},
+	} {
+		if _, err := GenerateTrace(g, spec); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}

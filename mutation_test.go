@@ -1,0 +1,289 @@
+package kplist
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+// twoTriangleGraph is 0-1-2 (triangle), 3-4-5 (triangle), plus spare
+// vertices 6..9 to mutate against.
+func twoTriangleGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(10, []Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2},
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 4, V: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSessionApplyBasic(t *testing.T) {
+	s := NewSession(twoTriangleGraph(t), SessionConfig{})
+	defer s.Close()
+	q := Query{P: 3, Algo: AlgoCongestedClique}
+	res, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) != 2 {
+		t.Fatalf("seed triangles: %d", len(res.Cliques))
+	}
+
+	// Close a third triangle on 6-7-8.
+	ar, err := s.Apply(context.Background(), []Mutation{
+		AddEdgeMutation(6, 7), AddEdgeMutation(7, 8), AddEdgeMutation(6, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.AddedEdges != 3 || ar.RemovedEdges != 0 || ar.Rebuilt {
+		t.Fatalf("apply result %+v", ar)
+	}
+	if !reflect.DeepEqual(ar.Touched, []V{6, 7, 8}) {
+		t.Fatalf("touched %v", ar.Touched)
+	}
+	if ar.InvalidatedResults != 1 {
+		t.Fatalf("cached p=3 result not invalidated: %+v", ar)
+	}
+	if ar.Graph != s.Graph() || ar.M != 9 || s.Graph().M() != 9 {
+		t.Fatalf("graph not swapped: m=%d", s.Graph().M())
+	}
+
+	res, err = s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) != 3 {
+		t.Fatalf("triangles after apply: %d", len(res.Cliques))
+	}
+	if err := Verify(s.Graph(), 3, res.Cliques); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("expected a fresh execution after invalidation: %+v", st)
+	}
+}
+
+func TestSessionApplySelectiveInvalidation(t *testing.T) {
+	s := NewSession(twoTriangleGraph(t), SessionConfig{})
+	defer s.Close()
+	q3 := Query{P: 3, Algo: AlgoCongestedClique}
+	q4 := Query{P: 4, Algo: AlgoCongestedClique}
+	for _, q := range []Query{q3, q4} {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Closing triangle 6-7-8 adds K3s but no K4: only the p=3 entry may
+	// drop.
+	ar, err := s.Apply(context.Background(), []Mutation{
+		AddEdgeMutation(6, 7), AddEdgeMutation(7, 8), AddEdgeMutation(6, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.InvalidatedResults != 1 {
+		t.Fatalf("want exactly the p=3 entry invalidated, got %d", ar.InvalidatedResults)
+	}
+	if _, err := s.Query(q4); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("p=4 entry should have survived: %+v", st)
+	}
+	if _, err := s.Query(q3); err != nil { // repopulate the p=3 entry
+		t.Fatal(err)
+	}
+
+	// Completing the K4 on 0-1-2-6 affects both sizes.
+	ar, err = s.Apply(context.Background(), []Mutation{
+		AddEdgeMutation(0, 6), AddEdgeMutation(1, 6), AddEdgeMutation(2, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.InvalidatedResults != 2 {
+		t.Fatalf("want both sizes invalidated, got %d", ar.InvalidatedResults)
+	}
+	res4, err := s.Query(q4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res4.Cliques) != 1 || !reflect.DeepEqual(res4.Cliques[0], Clique{0, 1, 2, 6}) {
+		t.Fatalf("K4 listing after apply: %v", res4.Cliques)
+	}
+	if _, err := s.Query(q3); err != nil { // repopulate the p=3 entry
+		t.Fatal(err)
+	}
+
+	// Deleting an edge of that K4 affects both again.
+	ar, err = s.Apply(context.Background(), []Mutation{DelEdgeMutation(2, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.RemovedEdges != 1 || ar.InvalidatedResults != 2 {
+		t.Fatalf("deletion result %+v", ar)
+	}
+	if res4, err = s.Query(q4); err != nil || len(res4.Cliques) != 0 {
+		t.Fatalf("K4 should be gone: %v, %v", res4, err)
+	}
+}
+
+func TestSessionApplyNoOpAndErrors(t *testing.T) {
+	s := NewSession(twoTriangleGraph(t), SessionConfig{})
+	if _, err := s.Query(Query{P: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Redundant batch: nothing effective, nothing invalidated.
+	ar, err := s.Apply(context.Background(), []Mutation{AddEdgeMutation(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.AddedEdges != 0 || ar.InvalidatedResults != 0 || ar.M != 6 {
+		t.Fatalf("no-op apply %+v", ar)
+	}
+	if _, err := s.Query(Query{P: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hits != 1 {
+		t.Fatalf("no-op apply must keep the cache: %+v", st)
+	}
+
+	// Bad mutations reject the whole batch, typed.
+	for _, muts := range [][]Mutation{
+		{AddEdgeMutation(0, 99)},
+		{AddEdgeMutation(3, 3)},
+		{{Op: MutOp(7), Edge: Edge{U: 0, V: 1}}},
+	} {
+		if _, err := s.Apply(context.Background(), muts); !errors.Is(err, ErrInvalidMutation) {
+			t.Fatalf("want ErrInvalidMutation, got %v", err)
+		}
+	}
+	if s.Graph().M() != 6 {
+		t.Fatal("rejected batch changed the graph")
+	}
+
+	// Empty batch is fine; closed session is not.
+	if _, err := s.Apply(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Apply(context.Background(), []Mutation{AddEdgeMutation(6, 7)}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("want ErrSessionClosed, got %v", err)
+	}
+}
+
+func TestSessionApplyInvalidatesGroundTruth(t *testing.T) {
+	s := NewSession(twoTriangleGraph(t), SessionConfig{})
+	defer s.Close()
+	if got := s.GroundTruth(3); len(got) != 2 {
+		t.Fatalf("seed ground truth: %d", len(got))
+	}
+	ar, err := s.Apply(context.Background(), []Mutation{
+		AddEdgeMutation(6, 7), AddEdgeMutation(7, 8), AddEdgeMutation(6, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.InvalidatedTruths != 1 {
+		t.Fatalf("ground-truth memo not invalidated: %+v", ar)
+	}
+	if got := s.GroundTruth(3); len(got) != 3 {
+		t.Fatalf("ground truth after apply: %d", len(got))
+	}
+	// Streaming sees the new graph too.
+	n := 0
+	if err := s.VisitGroundTruth(context.Background(), 3, func(Clique) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d cliques", n)
+	}
+	// Degeneracy tracks the mutated graph.
+	if d := s.Degeneracy(); d != 2 {
+		t.Fatalf("degeneracy after apply: %d", d)
+	}
+}
+
+// TestSessionApplyConcurrentQueries interleaves queries with mutation
+// batches and checks that every answer matches some prefix of the
+// mutation history — the linearization property the soak test drives at
+// scale.
+func TestSessionApplyConcurrentQueries(t *testing.T) {
+	g := ErdosRenyi(48, 0.25, 5)
+	s := NewSession(g, SessionConfig{})
+	defer s.Close()
+
+	// Precompute the per-prefix triangle censuses: prefix i = seed graph
+	// plus i applied batches.
+	batches := [][]Mutation{
+		{AddEdgeMutation(0, 1), AddEdgeMutation(1, 2), AddEdgeMutation(0, 2)},
+		{DelEdgeMutation(0, 1)},
+		{AddEdgeMutation(3, 4), DelEdgeMutation(1, 2)},
+		{AddEdgeMutation(0, 1), AddEdgeMutation(5, 6)},
+	}
+	valid := map[int64]bool{}
+	dyn := graph.NewDynGraph(g, graph.DynConfig{})
+	valid[GroundTruthCount(g, 3)] = true
+	for _, b := range batches {
+		if _, err := dyn.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		valid[GroundTruthCount(dyn.Snapshot(), 3)] = true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	counts := make(chan int64, 4096)
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Query(Query{P: 3, Algo: AlgoCongestedClique, Seed: seed})
+				if err != nil {
+					errs <- err
+					return
+				}
+				select {
+				case counts <- int64(len(res.Cliques)):
+				default:
+				}
+			}
+		}(int64(w % 3))
+	}
+	for _, b := range batches {
+		if _, err := s.Apply(context.Background(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	close(counts)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for c := range counts {
+		if !valid[c] {
+			t.Fatalf("observed triangle count %d matches no mutation prefix (valid: %v)", c, valid)
+		}
+	}
+}

@@ -111,8 +111,13 @@ type SessionStats struct {
 // concurrent use. This is the serving-shaped split of the paper's
 // preprocessing vs listing phases (DESIGN.md §6).
 type Session struct {
-	g   *Graph
 	cfg SessionConfig
+
+	// state is the current immutable graph plus the artefacts derived from
+	// it (the degeneracy peel). Queries snapshot it once at execution
+	// start, so a concurrent Apply never tears a single query: every
+	// response is computed against exactly one linearized mutation prefix.
+	state atomic.Pointer[sessionState]
 
 	sem chan struct{}
 
@@ -126,10 +131,19 @@ type Session struct {
 	active int
 	closed bool
 
-	degen *graph.DegeneracyResult
+	// applyMu serializes mutators; dyn is the mutable-edge engine behind
+	// Apply, created on first use (both guarded by applyMu).
+	applyMu sync.Mutex
+	dyn     *graph.DynGraph
 
 	gtMu sync.Mutex
 	gt   map[int]*gtEntry
+}
+
+// sessionState is one immutable snapshot of the served graph.
+type sessionState struct {
+	g     *Graph
+	degen *graph.DegeneracyResult
 }
 
 type sessionEntry struct {
@@ -140,7 +154,11 @@ type sessionEntry struct {
 
 type gtEntry struct {
 	done chan struct{}
-	cs   []Clique
+	// g is the graph snapshot the listing was (or is being) computed
+	// from: a lookup hits only on pointer match, so a memo from an older
+	// mutation prefix is never served for a newer one and vice versa.
+	g  *Graph
+	cs []Clique
 }
 
 // NewSession opens a session on g, paying the shared preprocessing once:
@@ -153,22 +171,23 @@ func NewSession(g *Graph, cfg SessionConfig) *Session {
 	if cfg.MaxCachedResults == 0 {
 		cfg.MaxCachedResults = 256
 	}
-	return &Session{
-		g:       g,
+	s := &Session{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		entries: make(map[Query]*sessionEntry),
-		degen:   g.Degeneracy(),
 		gt:      make(map[int]*gtEntry),
 	}
+	s.state.Store(&sessionState{g: g, degen: g.Degeneracy()})
+	return s
 }
 
-// Graph returns the session's graph.
-func (s *Session) Graph() *Graph { return s.g }
+// Graph returns the session's current graph snapshot (the result of every
+// Apply so far).
+func (s *Session) Graph() *Graph { return s.state.Load().g }
 
-// Degeneracy returns the precomputed degeneracy of the session's graph; no
-// Kp with p > Degeneracy()+1 exists.
-func (s *Session) Degeneracy() int { return s.degen.Degeneracy }
+// Degeneracy returns the precomputed degeneracy of the session's current
+// graph; no Kp with p > Degeneracy()+1 exists.
+func (s *Session) Degeneracy() int { return s.state.Load().degen.Degeneracy }
 
 // normalize applies the Algo defaulting rule and validates the query.
 // Domain violations wrap ErrInvalidQuery; unrecognized engines wrap
@@ -277,7 +296,12 @@ func (s *Session) serveOnce(ctx context.Context, key, q Query, counted *bool) (r
 	s.stats.Misses++
 	s.evictCacheOverflowLocked()
 	s.stats.Unique = len(s.entries)
-	pruned := s.cfg.PruneByDegeneracy && q.P > s.degen.Degeneracy+1
+	// One state snapshot serves this whole execution: graph and degeneracy
+	// always agree, even when an Apply lands mid-query (the result then
+	// describes the pre-apply prefix, and Apply has already dropped this
+	// entry from the cache if that listing changed).
+	st := s.state.Load()
+	pruned := s.cfg.PruneByDegeneracy && q.P > st.degen.Degeneracy+1
 	if pruned {
 		s.stats.Pruned++
 	}
@@ -301,7 +325,7 @@ func (s *Session) serveOnce(ctx context.Context, key, q Query, counted *bool) (r
 		s.stats.PeakConcurrent = s.active
 	}
 	s.mu.Unlock()
-	runRes, runErr := s.run(ctx, q)
+	runRes, runErr := s.run(ctx, q, st)
 	s.mu.Lock()
 	s.active--
 	s.mu.Unlock()
@@ -316,12 +340,17 @@ func isCtxErr(err error) bool {
 
 // finishEntry publishes an execution outcome to every coalesced waiter.
 // Failures (including cancellations) are evicted from the cache before
-// publication so the next identical query re-executes.
+// publication so the next identical query re-executes. The eviction is
+// conditional on the map still holding this entry: an Apply may have
+// already dropped it (and a fresh execution may have replaced it), and
+// that replacement must never be clobbered.
 func (s *Session) finishEntry(key Query, e *sessionEntry, res *Result, err error) {
 	e.res, e.err = res, err
 	if err != nil {
 		s.mu.Lock()
-		delete(s.entries, key)
+		if s.entries[key] == e {
+			delete(s.entries, key)
+		}
 		s.stats.Unique = len(s.entries)
 		if isCtxErr(err) {
 			s.stats.Cancelled++
@@ -369,7 +398,7 @@ func (s *Session) noteCancelled() {
 	s.mu.Unlock()
 }
 
-func (s *Session) run(ctx context.Context, q Query) (*Result, error) {
+func (s *Session) run(ctx context.Context, q Query, st *sessionState) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -385,20 +414,23 @@ func (s *Session) run(ctx context.Context, q Query) (*Result, error) {
 	)
 	switch q.Algo {
 	case AlgoCONGEST:
-		res, err = listCONGESTContext(ctx, s.g, q.P, opt)
+		res, err = listCONGESTContext(ctx, st.g, q.P, opt)
 	case AlgoFastK4:
 		opt.FastK4 = true
-		res, err = listCONGESTContext(ctx, s.g, q.P, opt)
+		res, err = listCONGESTContext(ctx, st.g, q.P, opt)
 	case AlgoCongestedClique:
-		res, err = listCongestedCliqueContext(ctx, s.g, q.P, opt)
+		res, err = listCongestedCliqueContext(ctx, st.g, q.P, opt)
 	case AlgoBroadcast:
-		res, err = listBroadcastContext(ctx, s.g, q.P, opt)
+		res, err = listBroadcastContext(ctx, st.g, q.P, opt)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if s.cfg.Verify {
-		want := graph.NewCliqueSet(s.GroundTruth(q.P))
+		// Verification compares against the same snapshot the engine ran
+		// on; the memo is keyed by that snapshot, so a concurrent Apply
+		// can never substitute a later mutation prefix.
+		want := graph.NewCliqueSet(s.groundTruthFor(st.g, q.P))
 		if !graph.NewCliqueSet(res.Cliques).Equal(want) {
 			return nil, fmt.Errorf("kplist: session verify failed for %+v: got %d cliques, want %d",
 				q, len(res.Cliques), want.Len())
@@ -408,20 +440,29 @@ func (s *Session) run(ctx context.Context, q Query) (*Result, error) {
 }
 
 // GroundTruth returns the sequential enumeration of Kp for the session's
-// graph, computed once per p and shared by every verifying query.
+// current graph, computed once per p and shared by every verifying query.
 // Concurrent first calls for the same p coalesce onto one enumeration;
 // distinct p values enumerate concurrently (the lock guards only the map).
 func (s *Session) GroundTruth(p int) []Clique {
+	return s.groundTruthFor(s.state.Load().g, p)
+}
+
+// groundTruthFor memoizes the Kp listing per (p, graph snapshot): the
+// memo hits only when it was computed from exactly the snapshot asked
+// for, so a verifying query racing an Apply always compares against the
+// listing of the graph it actually ran on, while the mutation-free case
+// keeps full memoization.
+func (s *Session) groundTruthFor(g *Graph, p int) []Clique {
 	s.gtMu.Lock()
-	if e, ok := s.gt[p]; ok {
+	if e, ok := s.gt[p]; ok && e.g == g {
 		s.gtMu.Unlock()
 		<-e.done
 		return e.cs
 	}
-	e := &gtEntry{done: make(chan struct{})}
+	e := &gtEntry{done: make(chan struct{}), g: g}
 	s.gt[p] = e
 	s.gtMu.Unlock()
-	e.cs = s.g.ListCliques(p)
+	e.cs = g.ListCliques(p)
 	close(e.done)
 	return e.cs
 }
@@ -453,7 +494,7 @@ func (s *Session) VisitGroundTruth(ctx context.Context, p int, yield func(Clique
 	}
 	n := 0
 	ctxStopped := false
-	s.g.VisitCliquesUntil(p, func(c Clique) bool {
+	s.state.Load().g.VisitCliquesUntil(p, func(c Clique) bool {
 		n++
 		if n%visitCtxCheckEvery == 0 && ctx.Err() != nil {
 			ctxStopped = true

@@ -42,3 +42,30 @@ func DefaultWorkloadSpec(family string, n int, seed int64) WorkloadSpec {
 func GenerateWorkload(spec WorkloadSpec) (*WorkloadInstance, error) {
 	return workload.Generate(spec)
 }
+
+// MutationTraceSpec selects and sizes one mutation trace (the dynamic
+// scenario axis: batches of edge mutations to Apply against a Session).
+type MutationTraceSpec = workload.TraceSpec
+
+// MutationTrace is a generated schedule of mutation batches; every
+// mutation is effective against the evolving graph it was generated for.
+type MutationTrace = workload.MutationTrace
+
+// Mutation-trace schedule names accepted by GenerateMutationTrace.
+const (
+	TraceInsert         = workload.ScheduleInsert
+	TraceDelete         = workload.ScheduleDelete
+	TraceChurn          = workload.ScheduleChurn
+	TraceRebuildTrigger = workload.ScheduleRebuildTrigger
+)
+
+// MutationTraceSchedules returns the registered schedule names in stable
+// order.
+func MutationTraceSchedules() []string { return workload.TraceSchedules() }
+
+// GenerateMutationTrace builds the mutation trace described by spec
+// against g, deterministically under spec.Seed. The batches are valid to
+// apply in order starting from a graph equal to g — see Session.Apply.
+func GenerateMutationTrace(g *Graph, spec MutationTraceSpec) (*MutationTrace, error) {
+	return workload.GenerateTrace(g, spec)
+}
