@@ -54,11 +54,12 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only      = fs.String("only", "", "comma-separated experiments to run (e1..e12, kernel); empty = all")
+		only      = fs.String("only", "", "comma-separated experiments to run (e1..e13, kernel); empty = all")
 		quick     = fs.Bool("quick", false, "small sizes for a fast smoke run")
 		seed      = fs.Int64("seed", 1, "random seed")
 		workers   = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
 		kernOut   = fs.String("kernelbench", "", "write the kernel throughput baseline (BENCH_kernel.json) to this path; implies the kernel sweep runs")
+		storeOut  = fs.String("storebench", "", "append this run to the persistence trajectory (BENCH_store.json) at this path; implies e13 runs")
 		update    = fs.Bool("update", false, "rewrite the golden files whose experiments are all selected (requires -quick; scoped by -only)")
 		goldenDir = fs.String("goldendir", filepath.Join("cmd", "benchrunner", "testdata"), "directory holding the golden files -update rewrites")
 	)
@@ -107,7 +108,7 @@ func run(args []string, w io.Writer) error {
 		{"e11", func() ([]bench.Series, error) { return bench.E11ServerThroughput(cfg) }},
 		{"e12", func() ([]bench.Series, error) { return bench.E12IncrementalChurn(cfg) }},
 	}
-	known := map[string]bool{"kernel": true}
+	known := map[string]bool{"kernel": true, "e13": true}
 	for _, r := range runners {
 		known[r.tag] = true
 	}
@@ -117,7 +118,7 @@ func run(args []string, w io.Writer) error {
 			for _, r := range runners {
 				tags = append(tags, r.tag)
 			}
-			tags = append(tags, "kernel")
+			tags = append(tags, "e13", "kernel")
 			return fmt.Errorf("unknown experiment %q (known: %s)", tag, strings.Join(tags, ", "))
 		}
 	}
@@ -152,10 +153,50 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "wrote %s\n", *kernOut)
 		}
 	}
+	// E13 (persistence) is wall-clock like the kernel sweep: it runs via
+	// -only e13 or implicitly when a -storebench path is given, and the
+	// JSON output is an APPENDED trajectory, not an overwritten sample.
+	if want["e13"] || *storeOut != "" {
+		fmt.Fprintln(w, "==== E13 ====")
+		sr, err := bench.StoreBench(*seed, *quick)
+		if err != nil {
+			return fmt.Errorf("e13: %w", err)
+		}
+		fmt.Fprint(w, sr.Table())
+		if *storeOut != "" {
+			n, err := appendStoreRun(*storeOut, sr)
+			if err != nil {
+				return fmt.Errorf("store trajectory: %w", err)
+			}
+			fmt.Fprintf(w, "appended run %d to %s\n", n, *storeOut)
+		}
+	}
 	if *update {
 		return updateGoldens(w, *goldenDir, outputs, enabled)
 	}
 	return nil
+}
+
+// appendStoreRun appends run to the BENCH_store.json trajectory at path
+// (created if absent) and returns the new run count.
+func appendStoreRun(path string, run *bench.StoreRun) (int, error) {
+	var doc bench.StoreBaseline
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return 0, fmt.Errorf("existing %s is not a trajectory: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	doc.Runs = append(doc.Runs, *run)
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(doc.Runs), nil
 }
 
 // updateGoldens rewrites each registered golden whose experiments were all

@@ -211,3 +211,72 @@ func TestKernelBaseline(t *testing.T) {
 		t.Error("-only kernel should not run E6")
 	}
 }
+
+// TestStoreTrajectoryAppends runs E13 twice against the same
+// BENCH_store.json and checks the file accumulates runs instead of being
+// overwritten — the trajectory semantics the continuous-benchmarking
+// direction depends on.
+func TestStoreTrajectoryAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_store.json")
+	for i := 1; i <= 2; i++ {
+		var sb strings.Builder
+		if err := run([]string{"-quick", "-only", "e13", "-storebench", path}, &sb); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !strings.Contains(sb.String(), "==== E13 ====") ||
+			!strings.Contains(sb.String(), "cold-open-from-mmap") {
+			t.Errorf("run %d missing E13 table:\n%s", i, sb.String())
+		}
+		if want := fmt.Sprintf("appended run %d to %s", i, path); !strings.Contains(sb.String(), want) {
+			t.Errorf("run %d missing %q:\n%s", i, want, sb.String())
+		}
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			GoVersion string `json:"goVersion"`
+			Snapshots []struct {
+				Family     string `json:"family"`
+				ColdOpenNs int64  `json:"coldOpenNs"`
+			} `json:"snapshots"`
+			WAL []struct {
+				Fsync      bool  `json:"fsync"`
+				NsPerBatch int64 `json:"nsPerBatch"`
+			} `json:"wal"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("bad trajectory JSON: %v", err)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("trajectory has %d runs, want 2", len(doc.Runs))
+	}
+	for _, r := range doc.Runs {
+		if r.GoVersion == "" || len(r.Snapshots) != 3 || len(r.WAL) != 2 {
+			t.Fatalf("malformed run: %+v", r)
+		}
+		for _, s := range r.Snapshots {
+			if s.ColdOpenNs <= 0 {
+				t.Errorf("%s: non-positive cold-open time", s.Family)
+			}
+		}
+	}
+}
+
+// TestStoreBenchRunsWithoutTrajectory checks -only e13 alone prints the
+// table and writes nothing.
+func TestStoreBenchRunsWithoutTrajectory(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "e13"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "WAL append throughput") {
+		t.Errorf("missing WAL table:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "appended run") {
+		t.Errorf("no -storebench given but a trajectory was written:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"kplist/internal/server"
+)
+
+// TestMain doubles as the crash-test daemon: when re-executed with
+// KPLISTD_CRASH_CHILD=1 the test binary runs the real daemon loop
+// instead of the test suite, so TestCrashRecoveryRoundTrip can SIGKILL
+// an actual kplistd process rather than simulate one in-process.
+func TestMain(m *testing.M) {
+	if os.Getenv("KPLISTD_CRASH_CHILD") == "1" {
+		err := run(context.Background(), strings.Fields(os.Getenv("KPLISTD_CRASH_ARGS")), os.Stderr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kplistd child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnDaemon re-execs the test binary as a kplistd daemon over dir and
+// returns the process plus its base URL once it is listening.
+func spawnDaemon(t *testing.T, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"KPLISTD_CRASH_CHILD=1",
+		"KPLISTD_CRASH_ARGS=-addr 127.0.0.1:0 -data-dir "+dir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "kplistd listening on "); ok {
+				addrc <- strings.Fields(rest)[0]
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("child daemon never reported its listen address")
+		return nil, ""
+	}
+}
+
+func doJSON(method, url string, body any) (*http.Response, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, nil, err
+	}
+	return resp, out, nil
+}
+
+// crashWorkload is the deterministic register body + mutation batches
+// shared by the killed daemon and the never-killed replay.
+func crashWorkload() (map[string]any, []map[string]any) {
+	const n = 80
+	rng := rand.New(rand.NewSource(42))
+	var edges [][2]int32
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.08 {
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+	}
+	reg := map[string]any{"name": "crash", "n": n, "edges": edges}
+	batches := make([]map[string]any, 120)
+	for i := range batches {
+		muts := make([]map[string]any, 16)
+		for j := range muts {
+			op := "add"
+			if rng.Intn(2) == 0 {
+				op = "remove"
+			}
+			u := rng.Intn(n)
+			v := rng.Intn(n - 1)
+			if v >= u {
+				v++
+			}
+			muts[j] = map[string]any{"op": op, "u": u, "v": v}
+		}
+		batches[i] = map[string]any{"mutations": muts}
+	}
+	return reg, batches
+}
+
+func cliqueStream(t *testing.T, base, id string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/graphs/" + id + "/cliques?p=3&algo=truth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cliques stream: status %d body %s", resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestCrashRecoveryRoundTrip is the satellite end-to-end check: a real
+// kplistd process under mutation churn is SIGKILLed mid-batch, restarted
+// on the same data dir, and must serve a clique stream byte-identical to
+// a never-killed in-process replay of some acknowledged batch prefix j
+// with acked ≤ j ≤ attempted — batches are atomic, so no partial batch
+// can survive the crash.
+func TestCrashRecoveryRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	cmd, base := spawnDaemon(t, dir)
+
+	reg, batches := crashWorkload()
+	resp, body, err := doJSON(http.MethodPost, base+"/v1/graphs", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d body %s", resp.StatusCode, body)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream batches at the daemon and SIGKILL it once enough are
+	// acknowledged — the kill lands while later batches are in flight.
+	acked, attempted := 0, 0
+	for _, b := range batches {
+		attempted++
+		resp, body, err := doJSON(http.MethodPatch, base+"/v1/graphs/"+info.ID+"/edges", b)
+		if err != nil {
+			break // the kill severed the connection
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("patch %d: status %d body %s", attempted, resp.StatusCode, body)
+		}
+		acked++
+		if acked == 25 {
+			go func() { _ = cmd.Process.Kill() }()
+		}
+	}
+	_, _ = cmd.Process.Wait()
+	if acked < 25 {
+		t.Fatalf("only %d batches acknowledged before failure", acked)
+	}
+
+	// Restart on the same data dir and capture what survived.
+	_, base2 := spawnDaemon(t, dir)
+	got := cliqueStream(t, base2, info.ID)
+
+	// Never-killed replays: an in-process ephemeral server fed the same
+	// register body and the first j batches. The crashed daemon must
+	// serve exactly one such prefix.
+	replay := func(j int) string {
+		t.Helper()
+		s, err := server.Open(server.Config{DefaultDeadline: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, body, err := doJSON(http.MethodPost, ts.URL+"/v1/graphs", reg)
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("replay register: %v status %v %s", err, resp, body)
+		}
+		for i := 0; i < j; i++ {
+			resp, body, err := doJSON(http.MethodPatch, ts.URL+"/v1/graphs/"+info.ID+"/edges", batches[i])
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("replay patch %d: %v status %v %s", i, err, resp, body)
+			}
+		}
+		return cliqueStream(t, ts.URL, info.ID)
+	}
+	matched := -1
+	for j := acked; j <= attempted && j <= len(batches); j++ {
+		if replay(j) == got {
+			matched = j
+			break
+		}
+	}
+	if matched < 0 {
+		t.Fatalf("recovered stream matches no batch prefix in [%d, %d] — durability or atomicity violated",
+			acked, attempted)
+	}
+	t.Logf("killed after acking %d/%d sent batches; recovered state = prefix %d", acked, attempted, matched)
+
+	// The recovered daemon keeps accepting mutations on the same graph.
+	if resp, body, err := doJSON(http.MethodPatch, base2+"/v1/graphs/"+info.ID+"/edges", batches[len(batches)-1]); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch after recovery: %v status %v %s", err, resp, body)
+	}
+}

@@ -57,6 +57,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		maxDeadline = fs.Duration("max-deadline", 2*time.Minute, "ceiling for ?deadline_ms= overrides")
 		sessConc    = fs.Int("session-concurrency", 0, "per-session scheduler bound (0 = GOMAXPROCS)")
 		verify      = fs.Bool("verify", false, "cross-check every fresh result against sequential ground truth")
+		dataDir     = fs.String("data-dir", "", "directory for durable graph state (snapshots + WALs); empty = in-memory only")
+		noSync      = fs.Bool("no-fsync", false, "skip the per-batch WAL fsync (faster, loses acknowledged batches on crash)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,8 +74,20 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 			MaxConcurrent: *sessConc,
 			Verify:        *verify,
 		},
+		DataDir: *dataDir,
+		Store:   kplist.StoreConfig{NoSync: *noSync},
 	}
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("opening data dir %s: %w", *dataDir, err)
+	}
+	defer srv.Close()
+	if *dataDir != "" {
+		rep := srv.Recovery()
+		fmt.Fprintf(logw, "kplistd: recovered %d graph(s) from %s (%d WAL records replayed, %d truncation(s), %d orphan(s) swept) in %s\n",
+			rep.Graphs, *dataDir, rep.WALRecordsReplayed, rep.WALTruncations, rep.OrphansSwept,
+			rep.Elapsed.Round(time.Millisecond))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -101,6 +115,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		return nil
+		// Connections drained: flush and release the durable stores so a
+		// graceful shutdown leaves fully-synced WALs.
+		return srv.Close()
 	}
 }

@@ -146,6 +146,11 @@ type DynGraph struct {
 	tracked []*cliqueTracker // ascending p
 	stats   DynStats
 
+	// commitHook, when set, observes each effective batch just before the
+	// adjacency mutates; a hook error aborts the batch untouched. The
+	// durable store logs batches to its WAL through this.
+	commitHook func([]Mutation) error
+
 	// snap caches the immutable snapshot between mutations.
 	snap *Graph
 }
@@ -277,6 +282,16 @@ func (d *DynGraph) snapshotLocked() *Graph {
 	return d.snap
 }
 
+// SetCommitHook installs (or, with nil, removes) the commit hook:
+// ApplyBatch invokes it with each batch's effective mutations after
+// validation but before the adjacency changes, and a hook error aborts
+// the batch untouched. No-op batches never reach the hook.
+func (d *DynGraph) SetCommitHook(h func([]Mutation) error) {
+	d.mu.Lock()
+	d.commitHook = h
+	d.mu.Unlock()
+}
+
 // AddEdge is ApplyBatch of one insertion.
 func (d *DynGraph) AddEdge(u, v V) (*Delta, error) {
 	return d.ApplyBatch([]Mutation{{Op: MutAdd, Edge: Edge{U: u, V: v}}})
@@ -341,6 +356,24 @@ func (d *DynGraph) ApplyBatch(muts []Mutation) (*Delta, error) {
 		return delta, nil
 	}
 	delta.Touched = touchedCover(delta.AddedEdges, delta.RemovedEdges)
+
+	// Commit barrier: hand the effective batch (canonical, deduplicated,
+	// deterministic order — deletions then insertions, each sorted) to the
+	// hook before anything mutates. If it fails — a WAL append that could
+	// not be made durable — the batch is rejected with the graph untouched,
+	// so the log never lags the served state.
+	if d.commitHook != nil {
+		eff := make([]Mutation, 0, len(del)+len(ins))
+		for _, k := range del {
+			eff = append(eff, Mutation{Op: MutDel, Edge: UnpackEdge(k)})
+		}
+		for _, k := range ins {
+			eff = append(eff, Mutation{Op: MutAdd, Edge: UnpackEdge(k)})
+		}
+		if err := d.commitHook(eff); err != nil {
+			return nil, fmt.Errorf("graph: commit hook rejected batch: %w", err)
+		}
+	}
 
 	effective := len(ins) + len(del)
 	rebuild := d.cfg.RebuildFraction >= 0 &&

@@ -68,11 +68,23 @@ type kernelArena struct {
 	bufs    [][]V  // bufs[d] backs the candidate set produced at depth d+1
 }
 
+// kernelBuilds counts full kernel constructions — the degeneracy peel +
+// DAG CSR derivation path. Kernels adopted from a snapshot's stored CSR
+// (kernelFromCSR) do not count, which is exactly what the persistence
+// tests assert: opening a snapshot must not re-derive the CSR.
+var kernelBuilds atomic.Int64
+
+// KernelBuilds returns how many kernels have been constructed from raw
+// adjacency since process start (test instrumentation for the snapshot
+// zero-rebuild guarantee).
+func KernelBuilds() int64 { return kernelBuilds.Load() }
+
 // newKernel builds the kernel for a dense vertex set given its full
 // adjacency in CSR form (heads ascending per row) and the mapping from
 // dense IDs back to caller-facing IDs (orig[i] for dense vertex i; nil
 // means the identity).
 func newKernel(n int, adjOff []int32, adjHeads []V, orig []V) *kernel {
+	kernelBuilds.Add(1)
 	order, rank := degeneracyCSR(n, adjOff, adjHeads)
 	k := &kernel{n: n}
 	k.orig = make([]V, n)
@@ -119,16 +131,35 @@ func newKernel(n int, adjOff []int32, adjHeads []V, orig []V) *kernel {
 			k.maxOut = d
 		}
 	}
-	if n <= kernelRowMaxN && k.maxOut >= kernelRowMinOut {
-		k.rowW = (n + 63) / 64
-		k.rows = make([]uint64, n*k.rowW)
-		for r := 0; r < n; r++ {
+	k.buildRows()
+	return k
+}
+
+// buildRows derives the word-packed adjacency-row bitmaps when the graph
+// is small and dense enough for bitmap probing to pay off. The bitmaps
+// are an acceleration structure, not part of the CSR: snapshot files
+// never store them, and adopting a stored CSR re-derives them here.
+func (k *kernel) buildRows() {
+	if k.n <= kernelRowMaxN && k.maxOut >= kernelRowMinOut {
+		k.rowW = (k.n + 63) / 64
+		k.rows = make([]uint64, k.n*k.rowW)
+		for r := 0; r < k.n; r++ {
 			row := k.rows[r*k.rowW : (r+1)*k.rowW]
 			for _, c := range k.heads[k.off[r]:k.off[r+1]] {
 				row[c>>6] |= 1 << (uint(c) & 63)
 			}
 		}
 	}
+}
+
+// kernelFromCSR adopts an already-derived degeneracy-DAG CSR — the
+// snapshot load path. The slices are aliased, not copied (they may point
+// into a read-only mapping and must not be written), and no degeneracy
+// peel or CSR derivation runs: only the in-memory row bitmaps are
+// rebuilt.
+func kernelFromCSR(n int, off []int32, heads, orig []V, maxOut int, maxID V) *kernel {
+	k := &kernel{n: n, orig: orig, maxID: maxID, off: off, heads: heads, maxOut: maxOut}
+	k.buildRows()
 	return k
 }
 

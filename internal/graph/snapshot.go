@@ -1,0 +1,213 @@
+package graph
+
+// Snapshot codec: a Graph serializes to a store snapshot as five flat
+// sections — the adjacency CSR ("adjoff"/"adjhead", what mutation and
+// Neighbors need) and the derived degeneracy-DAG kernel CSR
+// ("koff"/"khead"/"korig", what listing needs). Writing forces the
+// kernel so a reader pays the peel exactly zero times: OpenGraphSnapshot
+// adopts the stored kernel arrays straight off the mapping and serves
+// ListCliques without rebuilding anything but the in-memory row bitmaps.
+//
+// The WAL batch codec at the bottom is the mutation payload format the
+// durable store logs between snapshots.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"kplist/internal/store"
+)
+
+// Section names inside a graph snapshot file.
+const (
+	secAdjOff  = "adjoff"
+	secAdjHead = "adjhead"
+	secKernOff = "koff"
+	secKernHd  = "khead"
+	secKernOrg = "korig"
+)
+
+// WriteGraphSnapshot writes g to path as an immutable snapshot covering
+// WAL records through epoch. The write is crash-atomic. The graph's
+// kernel is forced first, so opening the file never re-derives it.
+func WriteGraphSnapshot(path string, g *Graph, epoch uint64) error {
+	k := g.kernel()
+	adjOff := make([]int32, g.n+1)
+	adjHead := make([]V, 0, 2*g.m)
+	for v := 0; v < g.n; v++ {
+		adjOff[v] = int32(len(adjHead))
+		adjHead = append(adjHead, g.adj[v]...)
+	}
+	adjOff[g.n] = int32(len(adjHead))
+	meta := store.Meta{
+		N:      int64(g.n),
+		M:      int64(g.m),
+		MaxOut: int32(k.maxOut),
+		MaxID:  k.maxID,
+		Epoch:  epoch,
+	}
+	sections := []store.Section{
+		{Name: secAdjOff, Data: adjOff},
+		{Name: secAdjHead, Data: adjHead},
+		{Name: secKernOff, Data: k.off},
+		{Name: secKernHd, Data: k.heads},
+		{Name: secKernOrg, Data: k.orig},
+	}
+	return store.WriteSnapshot(path, meta, sections)
+}
+
+// GraphSnapshot is an opened snapshot file serving a Graph directly off
+// the mapping: adjacency rows and kernel arrays alias the file, so the
+// graph is valid only until Close and must never be written (NewDynGraph
+// clones rows before mutating, so the mutation path is safe).
+type GraphSnapshot struct {
+	snap  *store.Snapshot
+	g     *Graph
+	epoch uint64
+}
+
+// OpenGraphSnapshot maps the snapshot at path, validates it, and
+// assembles a ready-to-serve Graph whose enumeration kernel is adopted
+// from the stored CSR — no degeneracy peel, no CSR derivation.
+func OpenGraphSnapshot(path string) (*GraphSnapshot, error) {
+	snap, err := store.OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := graphFromSnapshot(snap)
+	if err != nil {
+		snap.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return gs, nil
+}
+
+func graphFromSnapshot(snap *store.Snapshot) (*GraphSnapshot, error) {
+	meta := snap.Meta()
+	n := int(meta.N)
+	if int64(n) != meta.N || meta.M > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("%w: dimensions n=%d m=%d overflow the host int", store.ErrCorruptSnapshot, meta.N, meta.M)
+	}
+	adjOff, err := csrSection(snap, secAdjOff, secAdjHead, n)
+	if err != nil {
+		return nil, err
+	}
+	adjHead, _ := snap.Int32s(secAdjHead)
+	if int64(len(adjHead)) != 2*meta.M {
+		return nil, fmt.Errorf("%w: %d adjacency heads for m=%d", store.ErrCorruptSnapshot, len(adjHead), meta.M)
+	}
+	kOff, err := csrSection(snap, secKernOff, secKernHd, n)
+	if err != nil {
+		return nil, err
+	}
+	kHead, _ := snap.Int32s(secKernHd)
+	kOrig, err := snap.Int32s(secKernOrg)
+	if err != nil {
+		return nil, err
+	}
+	if len(kOrig) != n {
+		return nil, fmt.Errorf("%w: %d kernel ranks for n=%d", store.ErrCorruptSnapshot, len(kOrig), n)
+	}
+	for r, v := range kOrig {
+		if v < 0 || v > meta.MaxID {
+			return nil, fmt.Errorf("%w: kernel rank %d maps to vertex %d outside [0,%d]", store.ErrCorruptSnapshot, r, v, meta.MaxID)
+		}
+	}
+	for _, c := range kHead {
+		if c < 0 || int(c) >= n {
+			return nil, fmt.Errorf("%w: kernel head %d outside [0,%d)", store.ErrCorruptSnapshot, c, n)
+		}
+	}
+	g := &Graph{n: n, m: int(meta.M), adj: make([][]V, n)}
+	for v := 0; v < n; v++ {
+		row := adjHead[adjOff[v]:adjOff[v+1]]
+		for _, w := range row {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("%w: neighbor %d of vertex %d outside [0,%d)", store.ErrCorruptSnapshot, w, v, n)
+			}
+		}
+		g.adj[v] = row
+	}
+	g.kern.Store(kernelFromCSR(n, kOff, kHead, kOrig, int(meta.MaxOut), meta.MaxID))
+	return &GraphSnapshot{snap: snap, g: g, epoch: meta.Epoch}, nil
+}
+
+// csrSection validates the offset array of a CSR pair: length n+1,
+// non-decreasing, starting at 0 and ending at the heads length.
+func csrSection(snap *store.Snapshot, offName, headName string, n int) ([]int32, error) {
+	off, err := snap.Int32s(offName)
+	if err != nil {
+		return nil, err
+	}
+	heads, err := snap.Int32s(headName)
+	if err != nil {
+		return nil, err
+	}
+	if len(off) != n+1 {
+		return nil, fmt.Errorf("%w: %q has %d offsets for n=%d", store.ErrCorruptSnapshot, offName, len(off), n)
+	}
+	if n >= 0 && (len(off) == 0 || off[0] != 0 || int(off[n]) != len(heads)) {
+		return nil, fmt.Errorf("%w: %q span [%d,%d] does not cover %d heads", store.ErrCorruptSnapshot, offName, off[0], off[n], len(heads))
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return nil, fmt.Errorf("%w: %q decreases at row %d", store.ErrCorruptSnapshot, offName, i)
+		}
+	}
+	return off, nil
+}
+
+// Graph returns the snapshot-backed graph. It is immutable and valid
+// only until Close.
+func (s *GraphSnapshot) Graph() *Graph { return s.g }
+
+// Epoch returns the WAL sequence number the snapshot covers through.
+func (s *GraphSnapshot) Epoch() uint64 { return s.epoch }
+
+// Close unmaps the file; the graph and everything derived from it
+// becomes invalid.
+func (s *GraphSnapshot) Close() error { return s.snap.Close() }
+
+// WAL batch payload: count u32, then per mutation op u8 + u i32 + v i32,
+// all little-endian. The encoded batch is the effective (canonical,
+// deduplicated) batch DynGraph commits, so replay is exact.
+const walMutBytes = 9
+
+// EncodeWALBatch serializes a mutation batch for the WAL.
+func EncodeWALBatch(muts []Mutation) []byte {
+	b := make([]byte, 4+walMutBytes*len(muts))
+	binary.LittleEndian.PutUint32(b, uint32(len(muts)))
+	at := 4
+	for _, mu := range muts {
+		b[at] = byte(mu.Op)
+		binary.LittleEndian.PutUint32(b[at+1:], uint32(mu.Edge.U))
+		binary.LittleEndian.PutUint32(b[at+5:], uint32(mu.Edge.V))
+		at += walMutBytes
+	}
+	return b
+}
+
+// DecodeWALBatch reverses EncodeWALBatch, validating structure. It never
+// panics on malformed input.
+func DecodeWALBatch(b []byte) ([]Mutation, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte batch payload", store.ErrCorruptWAL, len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	if uint64(len(b)-4) != uint64(count)*walMutBytes {
+		return nil, fmt.Errorf("%w: %d bytes for a %d-mutation batch", store.ErrCorruptWAL, len(b), count)
+	}
+	muts := make([]Mutation, count)
+	at := 4
+	for i := range muts {
+		op := MutOp(b[at])
+		if op != MutAdd && op != MutDel {
+			return nil, fmt.Errorf("%w: unknown mutation op %d", store.ErrCorruptWAL, b[at])
+		}
+		u := V(binary.LittleEndian.Uint32(b[at+1:]))
+		v := V(binary.LittleEndian.Uint32(b[at+5:]))
+		muts[i] = Mutation{Op: op, Edge: Edge{U: u, V: v}}
+		at += walMutBytes
+	}
+	return muts, nil
+}

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -127,10 +129,22 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The registry admits (or refuses) first: a capacity rejection must
+	// never create files, so ErrRegistryFull leaves no debris on disk.
 	info, err := s.reg.Register(req.Name, family, g, planted)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	if s.persist != nil {
+		if err := s.persist.create(info.ID, g, s.reg); err != nil {
+			// Roll the registration back: a graph the store cannot hold
+			// durably is not registered at all.
+			_ = s.reg.Remove(info.ID)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("persisting graph %s: %w", info.ID, err))
+			return
+		}
 	}
 	writeJSON(w, http.StatusCreated, info)
 }
@@ -150,9 +164,24 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Hold the graph's mutation lock so a concurrent PATCH can't append
+	// to a WAL whose files are being removed underneath it.
+	unlock := s.lockMutations(id)
+	defer unlock()
 	if err := s.reg.Remove(id); err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	if s.persist != nil {
+		if err := s.persist.remove(id, s.reg); err != nil {
+			// The graph is gone from the registry either way; report the
+			// cleanup failure (orphaned files are swept at next boot).
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("removing graph %s files: %w", id, err))
+			s.pool.Invalidate(id)
+			s.mutLocks.Delete(id)
+			return
+		}
 	}
 	s.pool.Invalidate(id)
 	s.mutLocks.Delete(id) // IDs never recycle, so the lock is garbage now
@@ -345,6 +374,26 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+
+	// Durability barrier: with persistence on, the session hands each
+	// batch's effective mutations to the graph's WAL before anything
+	// mutates — an append failure rejects the whole batch, so the log
+	// never lags the served state. The hook is (re)installed under the
+	// mutation lock; sessions reopened by the pool start without one.
+	var st *kplist.GraphStore
+	if s.persist != nil {
+		st = s.persist.store(id)
+	}
+	if st != nil {
+		sess.SetMutationHook(func(eff []kplist.Mutation) error {
+			t0 := time.Now()
+			if err := st.AppendBatch(eff); err != nil {
+				return err
+			}
+			s.met.recordWALAppend(time.Since(t0))
+			return nil
+		})
+	}
 	start := time.Now()
 	ar, err := sess.Apply(r.Context(), muts)
 	if err != nil {
@@ -368,6 +417,16 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.pool.InvalidateOther(id, sess)
+
+	// Compact when the WAL has outgrown its bounds: the just-published
+	// snapshot reflects every logged batch, the mutation lock keeps new
+	// appends out, and a failure is retried on a later batch (recovery
+	// replays the long log either way).
+	if st != nil && st.ShouldCompact() {
+		if err := st.Compact(ar.Graph); err == nil {
+			s.met.recordCompaction()
+		}
+	}
 
 	writeJSON(w, http.StatusOK, patchResponse{
 		Graph:              id,
@@ -557,12 +616,40 @@ func (s *Server) serveTruthCliques(w http.ResponseWriter, r *http.Request, sess 
 	_ = bw.Flush()
 }
 
+// buildInfo is sampled once: the module version and VCS revision when
+// the binary carries them, plus the toolchain.
+var buildInfo = func() map[string]string {
+	out := map[string]string{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		out["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out["revision"] = kv.Value
+		case "vcs.modified":
+			out["dirty"] = kv.Value
+		}
+	}
+	return out
+}()
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	ps := s.pool.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":        "ok",
 		"graphs":        s.reg.Len(),
 		"openSessions":  ps.Open,
 		"uptimeSeconds": int64(time.Since(s.met.started).Seconds()),
-	})
+		"build":         buildInfo,
+	}
+	if s.persist != nil {
+		resp["dataDir"] = s.persist.dir
+		resp["recovery"] = s.recovery
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -128,6 +128,12 @@ type metrics struct {
 	mutIncremental int64
 	mutRebuild     int64
 	mutLatency     *histogram
+
+	// Durability counters (the -data-dir path): committed WAL appends
+	// with their fsync-inclusive latency, and snapshot compactions.
+	walAppends  int64
+	walFsync    *histogram
+	compactions int64
 }
 
 func newMetrics() *metrics {
@@ -138,7 +144,25 @@ func newMetrics() *metrics {
 		mutLatency: &histogram{
 			buckets: make([]int64, len(latencyBounds)+1),
 		},
+		walFsync: &histogram{
+			buckets: make([]int64, len(latencyBounds)+1),
+		},
 	}
+}
+
+// recordWALAppend accounts one durable WAL append (fsync included).
+func (m *metrics) recordWALAppend(elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.walAppends++
+	m.walFsync.observe(elapsed.Seconds())
+}
+
+// recordCompaction accounts one WAL-into-snapshot compaction.
+func (m *metrics) recordCompaction() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compactions++
 }
 
 // recordMutation accounts one applied mutation batch.
@@ -278,5 +302,23 @@ func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_sum %g\n", h.sum)
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_count %d\n", h.count)
+	}
+
+	fmt.Fprintf(w, "# TYPE kplistd_wal_appends_total counter\n")
+	fmt.Fprintf(w, "kplistd_wal_appends_total %d\n", m.walAppends)
+	fmt.Fprintf(w, "# TYPE kplistd_snapshot_compactions_total counter\n")
+	fmt.Fprintf(w, "kplistd_snapshot_compactions_total %d\n", m.compactions)
+	fmt.Fprintf(w, "# TYPE kplistd_wal_fsync_seconds histogram\n")
+	{
+		h := m.walFsync
+		var cum int64
+		for i, bound := range latencyBounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "kplistd_wal_fsync_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+		}
+		cum += h.buckets[len(latencyBounds)]
+		fmt.Fprintf(w, "kplistd_wal_fsync_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "kplistd_wal_fsync_seconds_sum %g\n", h.sum)
+		fmt.Fprintf(w, "kplistd_wal_fsync_seconds_count %d\n", h.count)
 	}
 }

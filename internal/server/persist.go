@@ -1,0 +1,233 @@
+package server
+
+// The persistence layer behind -data-dir: each registered graph owns a
+// kplist.GraphStore (snapshot + WAL) under <dataDir>/graphs/<id>/, and a
+// manifest at <dataDir>/manifest.json records the registry's identity
+// state (ID counter, names, families) that the graph files themselves do
+// not carry. Boot recovery reads the manifest, recovers every listed
+// store, restores the registry, and sweeps orphaned graph directories —
+// the debris of a crash between store creation and the manifest write.
+//
+// Ordering: graph files are created before the manifest lists them and
+// removed after the manifest forgets them, so the manifest only ever
+// points at directories that exist. Capacity is rejected before any file
+// is created, so ErrRegistryFull never leaves debris.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"kplist"
+)
+
+const manifestName = "manifest.json"
+
+// manifest is the JSON document at <dataDir>/manifest.json.
+type manifest struct {
+	NextID int             `json:"nextId"`
+	Graphs []manifestGraph `json:"graphs"`
+}
+
+// manifestGraph is the registry state one graph needs beyond its store:
+// N and M are re-derived from the recovered graph. Planted is only the
+// count — the clique lists themselves are generator provenance, not
+// serving state, and are not persisted.
+type manifestGraph struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Family  string `json:"family,omitempty"`
+	Planted int    `json:"planted,omitempty"`
+}
+
+// RecoveryReport summarizes one boot recovery, for the startup log line,
+// /healthz and the recovery gauges.
+type RecoveryReport struct {
+	Graphs             int           `json:"graphs"`
+	WALRecordsReplayed int64         `json:"walRecordsReplayed"`
+	WALTruncations     int           `json:"walTruncations"`
+	OrphansSwept       int           `json:"orphansSwept"`
+	Elapsed            time.Duration `json:"-"`
+	ElapsedSeconds     float64       `json:"elapsedSeconds"`
+}
+
+// persistence owns the data directory: the per-graph stores and the
+// manifest. Store lookups are lock-protected; the stores themselves are
+// driven under the server's per-graph mutation locks.
+type persistence struct {
+	dir string
+	cfg kplist.StoreConfig
+
+	mu     sync.Mutex
+	stores map[string]*kplist.GraphStore
+}
+
+func (p *persistence) graphDir(id string) string {
+	return filepath.Join(p.dir, "graphs", id)
+}
+
+// openPersistence recovers (or initializes) the data directory into reg
+// and returns the persistence handle plus what recovery did.
+func openPersistence(dir string, cfg kplist.StoreConfig, reg *Registry) (*persistence, RecoveryReport, error) {
+	start := time.Now()
+	p := &persistence{dir: dir, cfg: cfg, stores: make(map[string]*kplist.GraphStore)}
+	var rep RecoveryReport
+	if err := os.MkdirAll(filepath.Join(dir, "graphs"), 0o755); err != nil {
+		return nil, rep, err
+	}
+	man, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, rep, err
+	}
+	reg.SetNextID(man.NextID)
+	for _, mg := range man.Graphs {
+		st, g, stats, err := kplist.OpenGraphStore(p.graphDir(mg.ID), cfg)
+		if err != nil {
+			p.closeAll()
+			return nil, rep, fmt.Errorf("server: recovering graph %s: %w", mg.ID, err)
+		}
+		info := GraphInfo{ID: mg.ID, Name: mg.Name, Family: mg.Family, Planted: mg.Planted}
+		if err := reg.Restore(info, g); err != nil {
+			st.Close()
+			p.closeAll()
+			return nil, rep, err
+		}
+		p.stores[mg.ID] = st
+		rep.Graphs++
+		rep.WALRecordsReplayed += stats.WALRecords
+		if stats.WALTorn || stats.WALCorrupt {
+			rep.WALTruncations++
+		}
+	}
+	// Sweep directories the manifest does not list: a crash between store
+	// creation and the manifest write, or between manifest removal and
+	// directory removal.
+	listed := make(map[string]bool, len(man.Graphs))
+	for _, mg := range man.Graphs {
+		listed[mg.ID] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "graphs"))
+	if err != nil {
+		p.closeAll()
+		return nil, rep, err
+	}
+	for _, ent := range entries {
+		if !listed[ent.Name()] {
+			if err := os.RemoveAll(filepath.Join(dir, "graphs", ent.Name())); err != nil {
+				p.closeAll()
+				return nil, rep, err
+			}
+			rep.OrphansSwept++
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	rep.ElapsedSeconds = rep.Elapsed.Seconds()
+	return p, rep, nil
+}
+
+func readManifest(path string) (manifest, error) {
+	var man manifest
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return man, nil // fresh data dir
+	}
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return man, fmt.Errorf("server: corrupt manifest %s: %w", path, err)
+	}
+	return man, nil
+}
+
+// writeManifest snapshots the registry into the manifest, atomically
+// (temp + rename).
+func (p *persistence) writeManifest(reg *Registry) error {
+	man := manifest{NextID: reg.NextID()}
+	for _, info := range reg.List() {
+		man.Graphs = append(man.Graphs, manifestGraph{
+			ID: info.ID, Name: info.Name, Family: info.Family, Planted: info.Planted,
+		})
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(p.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// store returns id's open store (nil when the graph predates -data-dir
+// or persistence is off for it).
+func (p *persistence) store(id string) *kplist.GraphStore {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stores[id]
+}
+
+// create initializes id's durable store holding g and records it in the
+// manifest. Called after the registry admitted the graph (capacity is
+// its concern); on failure the caller rolls the registration back.
+func (p *persistence) create(id string, g *kplist.Graph, reg *Registry) error {
+	st, err := kplist.CreateGraphStore(p.graphDir(id), g, p.cfg)
+	if err != nil {
+		os.RemoveAll(p.graphDir(id))
+		return err
+	}
+	if err := p.writeManifest(reg); err != nil {
+		st.Close()
+		os.RemoveAll(p.graphDir(id))
+		return err
+	}
+	p.mu.Lock()
+	p.stores[id] = st
+	p.mu.Unlock()
+	return nil
+}
+
+// remove closes id's store, forgets it in the manifest, then deletes its
+// files — in that order, so the manifest never points at a missing
+// directory and a crash mid-remove leaves only an orphan the next boot
+// sweeps.
+func (p *persistence) remove(id string, reg *Registry) error {
+	p.mu.Lock()
+	st := p.stores[id]
+	delete(p.stores, id)
+	p.mu.Unlock()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	if err := p.writeManifest(reg); err != nil {
+		return err
+	}
+	return os.RemoveAll(p.graphDir(id))
+}
+
+// closeAll closes every open store (shutdown flush, or recovery-failure
+// cleanup).
+func (p *persistence) closeAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var err error
+	for id, st := range p.stores {
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		delete(p.stores, id)
+	}
+	return err
+}

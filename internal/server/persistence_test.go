@@ -1,0 +1,237 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"kplist"
+	"kplist/internal/server"
+)
+
+// newPersistentServer opens a server over dir and mounts it; the caller
+// restarts by calling it again with the same dir.
+func newPersistentServer(t *testing.T, dir string, override func(*server.Config)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cfg := server.Config{
+		MaxGraphs:       8,
+		PoolSize:        4,
+		QueueLimit:      256,
+		MaxInFlight:     8,
+		DefaultDeadline: time.Minute,
+		DataDir:         dir,
+		Store:           kplist.StoreConfig{NoSync: true},
+	}
+	if override != nil {
+		override(&cfg)
+	}
+	s, err := server.Open(cfg)
+	if err != nil {
+		t.Fatalf("server.Open: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	return s, ts
+}
+
+func truthStream(t *testing.T, base, id string, p int) string {
+	t.Helper()
+	resp, body := get(t, base+"/v1/graphs/"+id+"/cliques?p="+strconv.Itoa(p)+"&algo=truth")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cliques stream: status %d body %s", resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// The tentpole round trip at the HTTP level: register, mutate, shut
+// down cleanly, reopen the same data dir, and get a byte-identical
+// ground-truth stream plus continued mutability.
+func TestPersistenceRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts := newPersistentServer(t, dir, nil)
+	id, _ := registerWorkload(t, ts.URL, 120, 7)
+
+	resp, body := patchJSON(t, ts.URL+"/v1/graphs/"+id+"/edges",
+		mutBody(mut("add", 0, 1), mut("add", 0, 2), mut("add", 1, 2), mut("remove", 5, 6)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch: status %d body %s", resp.StatusCode, body)
+	}
+	wantStream := truthStream(t, ts.URL, id, 3)
+	var wantInfo server.GraphInfo
+	if r, b := get(t, ts.URL+"/v1/graphs/"+id); r.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", r.StatusCode)
+	} else if err := json.Unmarshal(b, &wantInfo); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := s1.Close(); err != nil { // clean shutdown: flush the WALs
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, ts2 := newPersistentServer(t, dir, nil)
+	if rep := s2.Recovery(); rep.Graphs != 1 {
+		t.Fatalf("recovery: %+v, want 1 graph", rep)
+	}
+	var gotInfo server.GraphInfo
+	if r, b := get(t, ts2.URL+"/v1/graphs/"+id); r.StatusCode != http.StatusOK {
+		t.Fatalf("get after restart: %d (%s)", r.StatusCode, b)
+	} else if err := json.Unmarshal(b, &gotInfo); err != nil {
+		t.Fatal(err)
+	}
+	if gotInfo.N != wantInfo.N || gotInfo.M != wantInfo.M || gotInfo.Name != wantInfo.Name {
+		t.Errorf("info after restart: %+v, want %+v", gotInfo, wantInfo)
+	}
+	if got := truthStream(t, ts2.URL, id, 3); got != wantStream {
+		t.Error("ground-truth stream differs after restart")
+	}
+	// The recovered graph keeps accepting mutations.
+	if r, b := patchJSON(t, ts2.URL+"/v1/graphs/"+id+"/edges",
+		mutBody(mut("add", 10, 11))); r.StatusCode != http.StatusOK {
+		t.Fatalf("patch after restart: %d (%s)", r.StatusCode, b)
+	}
+
+	// /healthz reports the durable state.
+	_, hb := get(t, ts2.URL+"/healthz")
+	var hz struct {
+		DataDir  string            `json:"dataDir"`
+		Build    map[string]string `json:"build"`
+		Recovery *struct {
+			Graphs int `json:"graphs"`
+		} `json:"recovery"`
+	}
+	if err := json.Unmarshal(hb, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.DataDir != dir || hz.Recovery == nil || hz.Recovery.Graphs != 1 || hz.Build["go"] == "" {
+		t.Errorf("healthz: %s", hb)
+	}
+}
+
+// New IDs never recycle across restarts: the manifest persists the
+// counter, so a graph registered after a restart cannot collide with a
+// recovered one's files.
+func TestPersistenceIDsNeverRecycle(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newPersistentServer(t, dir, nil)
+	id1, _ := registerWorkload(t, ts.URL, 60, 1)
+	ts.Close()
+
+	_, ts2 := newPersistentServer(t, dir, nil)
+	id2, _ := registerWorkload(t, ts2.URL, 60, 2)
+	if id1 == id2 {
+		t.Fatalf("restart recycled graph ID %s", id1)
+	}
+}
+
+func graphDirExists(dir, id string) bool {
+	_, err := os.Stat(filepath.Join(dir, "graphs", id))
+	return err == nil
+}
+
+// DELETE removes the graph's files and manifest entry; a subsequent
+// restart must not resurrect it, and a fresh registration starts clean.
+func TestDeleteRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newPersistentServer(t, dir, nil)
+	id, _ := registerWorkload(t, ts.URL, 60, 3)
+	if !graphDirExists(dir, id) {
+		t.Fatalf("no durable files for %s after register", id)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if graphDirExists(dir, id) {
+		t.Errorf("graph dir %s survived DELETE", id)
+	}
+	man, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(man), `"`+id+`"`) {
+		t.Errorf("manifest still lists %s after DELETE: %s", id, man)
+	}
+	ts.Close()
+
+	s2, ts2 := newPersistentServer(t, dir, nil)
+	if s2.Recovery().Graphs != 0 {
+		t.Errorf("deleted graph resurrected: %+v", s2.Recovery())
+	}
+	if r, _ := get(t, ts2.URL+"/v1/graphs/"+id); r.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted graph answers %d after restart", r.StatusCode)
+	}
+}
+
+// A capacity rejection must leave no files behind (satellite: registry
+// lifecycle vs the store).
+func TestRegistryFullLeavesNoOrphanFiles(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newPersistentServer(t, dir, func(c *server.Config) { c.MaxGraphs = 1 })
+	registerWorkload(t, ts.URL, 60, 4)
+	resp, body := postJSON(t, ts.URL+"/v1/graphs", map[string]any{
+		"n": 3, "edges": [][2]int32{{0, 1}},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second register: status %d body %s", resp.StatusCode, body)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "graphs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("%d graph dirs after a capacity rejection, want 1", len(entries))
+	}
+}
+
+// Directories the manifest does not list — a crash between store
+// creation and the manifest write — are swept at boot.
+func TestOrphanDirectorySweep(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newPersistentServer(t, dir, nil)
+	registerWorkload(t, ts.URL, 60, 5)
+	ts.Close()
+	orphan := filepath.Join(dir, "graphs", "g99")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "wal.log"), []byte("KPWAL1\n\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := newPersistentServer(t, dir, nil)
+	if s2.Recovery().OrphansSwept != 1 {
+		t.Errorf("recovery swept %d orphans, want 1", s2.Recovery().OrphansSwept)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphan directory survived boot")
+	}
+}
+
+// Ephemeral servers (no DataDir) must behave exactly as before: no
+// files, no recovery block in /healthz.
+func TestEphemeralServerUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	id, _ := registerWorkload(t, ts.URL, 60, 6)
+	_, hb := get(t, ts.URL+"/healthz")
+	var hz map[string]any
+	if err := json.Unmarshal(hb, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := hz["dataDir"]; has {
+		t.Errorf("ephemeral healthz advertises a data dir: %s", hb)
+	}
+	if r, _ := get(t, ts.URL+"/v1/graphs/"+id); r.StatusCode != http.StatusOK {
+		t.Errorf("ephemeral get: %d", r.StatusCode)
+	}
+}

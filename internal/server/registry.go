@@ -118,6 +118,42 @@ func (r *Registry) UpdateGraph(id string, g *kplist.Graph) (GraphInfo, error) {
 	return info, nil
 }
 
+// Restore reinserts a recovered graph under its original ID — the boot
+// recovery path. Unlike Register it never allocates an ID; it fails on a
+// duplicate ID or at capacity.
+func (r *Registry) Restore(info GraphInfo, g *kplist.Graph) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.graphs) >= r.max {
+		return fmt.Errorf("%w (%d graphs)", ErrRegistryFull, r.max)
+	}
+	if _, dup := r.graphs[info.ID]; dup {
+		return fmt.Errorf("server: duplicate graph ID %q in recovery", info.ID)
+	}
+	info.N = g.N()
+	info.M = g.M()
+	r.graphs[info.ID] = &RegisteredGraph{Info: info, G: g}
+	return nil
+}
+
+// NextID returns the ID counter (persisted in the manifest so recovered
+// registries never recycle IDs).
+func (r *Registry) NextID() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextID
+}
+
+// SetNextID raises the ID counter to at least n — recovery restores the
+// persisted counter through this, so IDs stay unique across restarts.
+func (r *Registry) SetNextID(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.nextID {
+		r.nextID = n
+	}
+}
+
 // Remove unregisters id. The caller is responsible for invalidating any
 // pooled session for it.
 func (r *Registry) Remove(id string) error {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"runtime"
 	"strings"
@@ -45,6 +46,15 @@ type Config struct {
 	// MaxMutationBatch bounds one PATCH /edges request's mutation count
 	// (default 4096).
 	MaxMutationBatch int
+	// DataDir, when non-empty, makes the server durable: every registered
+	// graph gets a snapshot file + write-ahead log under it, mutation
+	// batches are logged before they are acknowledged, and Open recovers
+	// the whole registry from disk on boot. Empty means fully in-memory
+	// (the pre-durability behavior).
+	DataDir string
+	// Store tunes the per-graph durable stores (compaction thresholds,
+	// fsync policy). Ignored when DataDir is empty.
+	Store kplist.StoreConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +111,11 @@ type Server struct {
 	// their (session-serialized) Applies, leaving the registry holding the
 	// older snapshot. Entries are dropped on DELETE; IDs never recycle.
 	mutLocks sync.Map // graph ID → *sync.Mutex
+
+	// persist is the durable backing (nil when Config.DataDir is empty);
+	// recovery describes what Open replayed at boot.
+	persist  *persistence
+	recovery RecoveryReport
 }
 
 // lockMutations takes id's mutation lock and returns the unlock.
@@ -111,8 +126,23 @@ func (s *Server) lockMutations(id string) func() {
 	return m.Unlock
 }
 
-// New builds a Server from cfg.
+// New builds a Server from cfg. With Config.DataDir set it delegates to
+// Open and panics on a recovery failure — callers that persist should
+// use Open and handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server.New with DataDir: %v (use server.Open)", err))
+	}
+	return s
+}
+
+// Open builds a Server from cfg, recovering the registry from
+// Config.DataDir when set: every graph the manifest lists is reopened
+// from its newest valid snapshot plus a WAL-tail replay, so the server
+// resumes serving exactly the mutation batches it had acknowledged.
+// Close flushes and releases the durable state.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:  cfg,
@@ -120,6 +150,14 @@ func New(cfg Config) *Server {
 		pool: NewSessionPool(cfg.PoolSize, cfg.Session),
 		adm:  newAdmission(cfg.MaxInFlight, cfg.QueueLimit),
 		met:  newMetrics(),
+	}
+	if cfg.DataDir != "" {
+		p, rep, err := openPersistence(cfg.DataDir, cfg.Store, s.reg)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+		s.recovery = rep
 	}
 	s.mux = http.NewServeMux()
 	// Health and metrics bypass admission: they must answer precisely
@@ -133,7 +171,21 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/graphs/{id}/query", http.HandlerFunc(s.handleQuery), true)
 	s.route("GET /v1/graphs/{id}/cliques", http.HandlerFunc(s.handleCliques), true)
 	s.route("PATCH /v1/graphs/{id}/edges", http.HandlerFunc(s.handlePatchEdges), true)
-	return s
+	return s, nil
+}
+
+// Recovery returns what boot recovery found and replayed (the zero value
+// when the server is in-memory or the data dir was fresh).
+func (s *Server) Recovery() RecoveryReport { return s.recovery }
+
+// Close flushes and closes every per-graph durable store. In-memory
+// servers have nothing to release; the call is then a no-op. Serve no
+// requests after Close.
+func (s *Server) Close() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.closeAll()
 }
 
 // route mounts h at pattern with instrumentation, and (when admitted) the
@@ -158,7 +210,7 @@ func (s *Server) Registry() *Registry { return s.reg }
 // gauges samples the server-level gauges rendered by /metrics.
 func (s *Server) gauges() map[string]float64 {
 	ps := s.pool.Stats()
-	return map[string]float64{
+	g := map[string]float64{
 		"kplistd_graphs":                      float64(s.reg.Len()),
 		"kplistd_pool_capacity":               float64(s.cfg.PoolSize),
 		"kplistd_pool_open_sessions":          float64(ps.Open),
@@ -173,6 +225,13 @@ func (s *Server) gauges() map[string]float64 {
 		"kplistd_admission_waiting":           float64(s.adm.waiting.Load()),
 		"kplistd_admission_inflight_capacity": float64(s.cfg.MaxInFlight),
 	}
+	if s.persist != nil {
+		g["kplistd_persistence_enabled"] = 1
+		g["kplistd_recovery_duration_seconds"] = s.recovery.Elapsed.Seconds()
+		g["kplistd_recovery_graphs"] = float64(s.recovery.Graphs)
+		g["kplistd_recovery_wal_records_replayed"] = float64(s.recovery.WALRecordsReplayed)
+	}
+	return g
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without mmap reads the whole file; sections are
+// then served from the heap copy (still zero further decoding).
+func mapFile(path string) (data, mapped []byte, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, nil, nil
+}
+
+func unmapFile([]byte) error { return nil }

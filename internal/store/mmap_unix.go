@@ -1,0 +1,43 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. It returns the file contents and the
+// mapping to hand back to unmapFile; an empty file maps to (nil, nil).
+func mapFile(path string) (data, mapped []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("store: %s: %d bytes exceeds the address space", path, size)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return m, m, nil
+}
+
+// unmapFile releases a mapping returned by mapFile (nil is a no-op).
+func unmapFile(mapped []byte) error {
+	if mapped == nil {
+		return nil
+	}
+	return syscall.Munmap(mapped)
+}

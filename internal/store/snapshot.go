@@ -1,0 +1,283 @@
+package store
+
+// The immutable snapshot file: one versioned header, a checksummed
+// section table, and flat little-endian int32 arrays laid out 8-byte
+// aligned so an mmap-opened file serves them as Go slices without a
+// decode pass. Writes are crash-atomic: the file is assembled under a
+// temporary name, fsynced, renamed into place, and the directory synced,
+// so a reader only ever observes a complete snapshot or none.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout constants.
+const (
+	snapMagic   = "KPSNAP1\n"
+	snapVersion = 1
+
+	// snapFixedHeader is the byte length of the header before the section
+	// table: magic(8) + version(4) + sectionCount(4) + N(8) + M(8) +
+	// MaxOut(4) + MaxID(4) + Epoch(8) + reserved(8).
+	snapFixedHeader = 56
+	// snapSectionEntry is the byte length of one section-table entry:
+	// name(8) + offset(8) + length(8) + crc(4) + pad(4).
+	snapSectionEntry = 32
+
+	// snapMaxSections bounds the section table so a corrupt count cannot
+	// drive a huge allocation before the header CRC is checked.
+	snapMaxSections = 64
+)
+
+// ErrCorruptSnapshot reports a snapshot file that failed structural or
+// checksum validation; the file must not be served.
+var ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+
+// Meta is the snapshot's fixed metadata: the graph dimensions the decoded
+// sections describe, plus the WAL epoch the snapshot covers through
+// (records with sequence ≤ Epoch are already folded in).
+type Meta struct {
+	N      int64
+	M      int64
+	MaxOut int32
+	MaxID  int32
+	Epoch  uint64
+}
+
+// Section is one named flat array of a snapshot. Names are at most 8
+// bytes; the payload is little-endian int32s.
+type Section struct {
+	Name string
+	Data []int32
+}
+
+// WriteSnapshot writes a snapshot file at path atomically (temp file +
+// fsync + rename + directory sync). Section names must be unique and at
+// most 8 bytes.
+func WriteSnapshot(path string, meta Meta, sections []Section) error {
+	if len(sections) > snapMaxSections {
+		return fmt.Errorf("store: %d sections exceeds the %d limit", len(sections), snapMaxSections)
+	}
+	seen := make(map[string]bool, len(sections))
+	for _, s := range sections {
+		if len(s.Name) == 0 || len(s.Name) > 8 {
+			return fmt.Errorf("store: bad section name %q (want 1..8 bytes)", s.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("store: duplicate section %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+
+	headerLen := snapFixedHeader + len(sections)*snapSectionEntry + 4 // + header CRC
+	payloadStart := align8(headerLen)
+	header := make([]byte, payloadStart)
+	copy(header, snapMagic)
+	binary.LittleEndian.PutUint32(header[8:], snapVersion)
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(sections)))
+	binary.LittleEndian.PutUint64(header[16:], uint64(meta.N))
+	binary.LittleEndian.PutUint64(header[24:], uint64(meta.M))
+	binary.LittleEndian.PutUint32(header[32:], uint32(meta.MaxOut))
+	binary.LittleEndian.PutUint32(header[36:], uint32(meta.MaxID))
+	binary.LittleEndian.PutUint64(header[40:], meta.Epoch)
+
+	off := int64(payloadStart)
+	for i, s := range sections {
+		e := header[snapFixedHeader+i*snapSectionEntry:]
+		copy(e[:8], s.Name)
+		data := bytesFromInt32s(s.Data)
+		binary.LittleEndian.PutUint64(e[8:], uint64(off))
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(data)))
+		binary.LittleEndian.PutUint32(e[24:], crc32.Checksum(data, castagnoli))
+		off = align8i64(off + int64(len(data)))
+	}
+	crcAt := snapFixedHeader + len(sections)*snapSectionEntry
+	binary.LittleEndian.PutUint32(header[crcAt:], crc32.Checksum(header[:crcAt], castagnoli))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(header); err != nil {
+		return err
+	}
+	at := int64(payloadStart)
+	pad := make([]byte, 8)
+	for _, s := range sections {
+		data := bytesFromInt32s(s.Data)
+		if _, err := tmp.Write(data); err != nil {
+			return err
+		}
+		at += int64(len(data))
+		if aligned := align8i64(at); aligned > at {
+			if _, err := tmp.Write(pad[:aligned-at]); err != nil {
+				return err
+			}
+			at = aligned
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Snapshot is an opened (memory-mapped) snapshot file. Sections alias the
+// mapping, so they are valid only until Close; callers treat them as
+// immutable.
+type Snapshot struct {
+	meta     Meta
+	sections map[string][]int32
+	mapped   []byte // nil after Close or when the open fell back to a read
+	closed   bool
+}
+
+// OpenSnapshot maps the snapshot at path, validates the header and every
+// section checksum, and returns it ready to serve sections zero-copy.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	data, mapped, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := decodeSnapshot(data)
+	if err != nil {
+		unmapFile(mapped)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	snap.mapped = mapped
+	return snap, nil
+}
+
+// decodeSnapshot validates data as a snapshot image and indexes its
+// sections (aliasing data). It is the pure decoding core OpenSnapshot and
+// the header fuzz target share.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapFixedHeader+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than a header", ErrCorruptSnapshot, len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSnapshot, v)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:]))
+	if count < 0 || count > snapMaxSections {
+		return nil, fmt.Errorf("%w: section count %d outside [0,%d]", ErrCorruptSnapshot, count, snapMaxSections)
+	}
+	crcAt := snapFixedHeader + count*snapSectionEntry
+	if len(data) < crcAt+4 {
+		return nil, fmt.Errorf("%w: truncated section table", ErrCorruptSnapshot)
+	}
+	if got, want := crc32.Checksum(data[:crcAt], castagnoli), binary.LittleEndian.Uint32(data[crcAt:]); got != want {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorruptSnapshot)
+	}
+	snap := &Snapshot{
+		meta: Meta{
+			N:      int64(binary.LittleEndian.Uint64(data[16:])),
+			M:      int64(binary.LittleEndian.Uint64(data[24:])),
+			MaxOut: int32(binary.LittleEndian.Uint32(data[32:])),
+			MaxID:  int32(binary.LittleEndian.Uint32(data[36:])),
+			Epoch:  binary.LittleEndian.Uint64(data[40:]),
+		},
+		sections: make(map[string][]int32, count),
+	}
+	if snap.meta.N < 0 || snap.meta.M < 0 {
+		return nil, fmt.Errorf("%w: negative dimensions n=%d m=%d", ErrCorruptSnapshot, snap.meta.N, snap.meta.M)
+	}
+	for i := 0; i < count; i++ {
+		e := data[snapFixedHeader+i*snapSectionEntry:]
+		name := sectionName(e[:8])
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		crc := binary.LittleEndian.Uint32(e[24:])
+		if name == "" {
+			return nil, fmt.Errorf("%w: empty section name in entry %d", ErrCorruptSnapshot, i)
+		}
+		if _, dup := snap.sections[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorruptSnapshot, name)
+		}
+		if off%8 != 0 || length%4 != 0 || off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("%w: section %q range [%d,+%d) outside %d-byte file",
+				ErrCorruptSnapshot, name, off, length, len(data))
+		}
+		payload := data[off : off+length]
+		if got := crc32.Checksum(payload, castagnoli); got != crc {
+			return nil, fmt.Errorf("%w: section %q checksum mismatch", ErrCorruptSnapshot, name)
+		}
+		snap.sections[name] = int32sFromBytes(payload)
+	}
+	return snap, nil
+}
+
+// Meta returns the snapshot metadata.
+func (s *Snapshot) Meta() Meta { return s.meta }
+
+// Int32s returns the named section. The slice aliases the mapping (on
+// little-endian hosts) and must not be modified or retained past Close.
+func (s *Snapshot) Int32s(name string) ([]int32, error) {
+	sec, ok := s.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section %q", ErrCorruptSnapshot, name)
+	}
+	return sec, nil
+}
+
+// Close unmaps the file. Every section slice obtained from the snapshot
+// is invalid afterwards.
+func (s *Snapshot) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.sections = nil
+	m := s.mapped
+	s.mapped = nil
+	return unmapFile(m)
+}
+
+func sectionName(b []byte) string {
+	n := len(b)
+	for n > 0 && b[n-1] == 0 {
+		n--
+	}
+	return string(b[:n])
+}
+
+func align8(n int) int        { return (n + 7) &^ 7 }
+func align8i64(n int64) int64 { return (n + 7) &^ 7 }
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Filesystems that refuse to sync directories are tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync() // best-effort: some filesystems reject directory fsync
+	return nil
+}

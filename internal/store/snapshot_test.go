@@ -1,0 +1,175 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSections() (Meta, []Section) {
+	meta := Meta{N: 4, M: 3, MaxOut: 2, MaxID: 3, Epoch: 7}
+	sections := []Section{
+		{Name: "adjoff", Data: []int32{0, 2, 4, 5, 6}},
+		{Name: "adjhead", Data: []int32{1, 2, 0, 3, 0, 1}},
+		{Name: "empty", Data: nil},
+	}
+	return meta, sections
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.kpsnap")
+	meta, sections := testSections()
+	if err := WriteSnapshot(path, meta, sections); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	defer snap.Close()
+	if got := snap.Meta(); got != meta {
+		t.Errorf("meta round trip: got %+v want %+v", got, meta)
+	}
+	for _, s := range sections {
+		got, err := snap.Int32s(s.Name)
+		if err != nil {
+			t.Fatalf("Int32s(%q): %v", s.Name, err)
+		}
+		if len(got) != len(s.Data) {
+			t.Fatalf("section %q: got %d ints, want %d", s.Name, len(got), len(s.Data))
+		}
+		for i := range got {
+			if got[i] != s.Data[i] {
+				t.Errorf("section %q[%d]: got %d want %d", s.Name, i, got[i], s.Data[i])
+			}
+		}
+	}
+	if _, err := snap.Int32s("nosuch"); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Errorf("missing section: got %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestSnapshotWriteValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.kpsnap")
+	if err := WriteSnapshot(path, Meta{}, []Section{{Name: "ninecharss"}}); err == nil {
+		t.Error("9-byte section name accepted")
+	}
+	if err := WriteSnapshot(path, Meta{}, []Section{{Name: ""}}); err == nil {
+		t.Error("empty section name accepted")
+	}
+	if err := WriteSnapshot(path, Meta{}, []Section{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate section name accepted")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("rejected write left a file behind: %v", err)
+	}
+}
+
+// Every single-bit flip in a meaningful byte must be detected: the
+// header and each section are independently checksummed and
+// bounds-checked. Only 8-byte-alignment padding (never read back) is
+// outside checksum coverage.
+func TestSnapshotBitFlipsDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.kpsnap")
+	meta, sections := testSections()
+	if err := WriteSnapshot(path, meta, sections); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coverage map: the checksummed header (incl. its CRC) plus each
+	// section's payload range, straight from the section table.
+	covered := make([]bool, len(orig))
+	crcAt := snapFixedHeader + len(sections)*snapSectionEntry
+	for i := 0; i < crcAt+4; i++ {
+		covered[i] = true
+	}
+	for i := range sections {
+		e := orig[snapFixedHeader+i*snapSectionEntry:]
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		for j := off; j < off+length; j++ {
+			covered[j] = true
+		}
+	}
+	for byteAt := 0; byteAt < len(orig); byteAt++ {
+		if !covered[byteAt] {
+			continue
+		}
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), orig...)
+			mut[byteAt] ^= 1 << bit
+			snap, err := decodeSnapshot(mut)
+			if err == nil {
+				snap.Close()
+				t.Fatalf("bit flip at byte %d bit %d went undetected", byteAt, bit)
+			}
+		}
+	}
+}
+
+func TestSnapshotTruncations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.kpsnap")
+	meta, sections := testSections()
+	if err := WriteSnapshot(path, meta, sections); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(orig); n++ {
+		if snap, err := decodeSnapshot(orig[:n]); err == nil {
+			snap.Close()
+			t.Fatalf("truncation to %d of %d bytes went undetected", n, len(orig))
+		}
+	}
+}
+
+func TestSnapshotOverwriteAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.kpsnap")
+	meta, sections := testSections()
+	if err := WriteSnapshot(path, meta, sections); err != nil {
+		t.Fatal(err)
+	}
+	meta.Epoch = 99
+	if err := WriteSnapshot(path, meta, sections); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot after overwrite: %v", err)
+	}
+	defer snap.Close()
+	if snap.Meta().Epoch != 99 {
+		t.Errorf("epoch after overwrite: got %d want 99", snap.Meta().Epoch)
+	}
+	// The temp file must not linger.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after overwrite, want 1", len(entries))
+	}
+}
+
+func TestInt32sBytesRoundTrip(t *testing.T) {
+	in := []int32{0, 1, -1, 1 << 30, -(1 << 30), 123456789}
+	out := int32sFromBytes(bytesFromInt32s(in))
+	if len(out) != len(in) {
+		t.Fatalf("length: got %d want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("[%d]: got %d want %d", i, out[i], in[i])
+		}
+	}
+	if got := int32sFromBytes(nil); len(got) != 0 {
+		t.Errorf("nil bytes: got %d ints", len(got))
+	}
+}

@@ -1,0 +1,63 @@
+// Package store is the durable storage backend behind the graph layers:
+// immutable snapshot files holding the flat little-endian CSR arrays the
+// enumeration kernel runs on (versioned header, per-section checksums,
+// memory-mapped on open so a reloaded graph serves listing queries
+// directly off disk), and a length-prefixed CRC'd write-ahead log for
+// mutation batches with fsync-on-commit and torn-tail recovery. The
+// package is deliberately ignorant of graph semantics — it moves named
+// int32 sections and opaque record payloads; internal/graph owns the
+// encoding of adjacency and kernel CSR into them. See DESIGN.md §10 for
+// the file formats and the recovery sequence.
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"unsafe"
+)
+
+// castagnoli is the CRC-32C table every checksum in the package uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether the host lays out integers little-
+// endian — the file format's byte order — so sections can be served
+// zero-copy straight out of the mapping. Big-endian hosts fall back to a
+// decoded copy.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32sFromBytes interprets b (little-endian int32 payload, 4-byte
+// aligned length) as an []int32: an aliasing cast on little-endian hosts,
+// a decoded copy otherwise.
+func int32sFromBytes(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// bytesFromInt32s returns the little-endian byte image of s. On little-
+// endian hosts it aliases s; callers must treat the result as read-only
+// and must not retain it past s.
+func bytesFromInt32s(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+	}
+	out := make([]byte, 4*len(s))
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpenWAL(t *testing.T, path string) (*WAL, ScanResult) {
+	t.Helper()
+	w, res, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatalf("OpenWAL(%s): %v", path, err)
+	}
+	return w, res
+}
+
+func TestWALAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, res := mustOpenWAL(t, path)
+	if len(res.Records) != 0 || res.Torn || res.Corrupt {
+		t.Fatalf("fresh log scan: %+v", res)
+	}
+	payloads := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma-longer-payload")}
+	for i, p := range payloads {
+		seq, err := w.Append(p)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if want := uint64(i + 1); seq != want {
+			t.Errorf("Append %d: seq %d, want %d", i, seq, want)
+		}
+	}
+	if w.Records() != 3 || w.LastSeq() != 3 {
+		t.Errorf("after appends: records=%d lastSeq=%d", w.Records(), w.LastSeq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, res2 := mustOpenWAL(t, path)
+	defer w2.Close()
+	if res2.Torn || res2.Corrupt {
+		t.Errorf("clean reopen flagged torn=%v corrupt=%v", res2.Torn, res2.Corrupt)
+	}
+	if len(res2.Records) != len(payloads) {
+		t.Fatalf("reopen recovered %d records, want %d", len(res2.Records), len(payloads))
+	}
+	for i, rec := range res2.Records {
+		if rec.Seq != uint64(i+1) || !bytes.Equal(rec.Payload, payloads[i]) {
+			t.Errorf("record %d: seq=%d payload=%q", i, rec.Seq, rec.Payload)
+		}
+	}
+	if seq, err := w2.Append([]byte("delta")); err != nil || seq != 4 {
+		t.Errorf("append after reopen: seq=%d err=%v, want 4", seq, err)
+	}
+}
+
+// A torn tail — any strict prefix of the final frame — must recover every
+// earlier record and position the log so the next append reuses the torn
+// record's sequence number.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _ := mustOpenWAL(t, path)
+	if _, err := w.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	keep := w.Size()
+	if _, err := w.Append([]byte("third-to-be-torn")); err != nil {
+		t.Fatal(err)
+	}
+	full := w.Size()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := keep + 1; cut < full; cut++ {
+		torn := filepath.Join(dir, fmt.Sprintf("torn-%d.log", cut))
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tw, res := mustOpenWAL(t, torn)
+		if !res.Torn || res.Corrupt {
+			t.Errorf("cut=%d: torn=%v corrupt=%v, want torn only", cut, res.Torn, res.Corrupt)
+		}
+		if len(res.Records) != 2 {
+			t.Fatalf("cut=%d: recovered %d records, want 2", cut, len(res.Records))
+		}
+		if tw.Size() != keep {
+			t.Errorf("cut=%d: size after truncate %d, want %d", cut, tw.Size(), keep)
+		}
+		if seq, err := tw.Append([]byte("replacement")); err != nil || seq != 3 {
+			t.Errorf("cut=%d: append after truncate seq=%d err=%v, want 3", cut, seq, err)
+		}
+		tw.Close()
+	}
+}
+
+func TestWALCorruptRecordEndsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := mustOpenWAL(t, path)
+	if _, err := w.Append([]byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	boundary := w.Size()
+	if _, err := w.Append([]byte("corrupt-me")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[boundary+walFrameHeader] ^= 0x40 // flip a payload bit in record 2
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, res := mustOpenWAL(t, path)
+	defer w2.Close()
+	if !res.Corrupt {
+		t.Error("bit-flipped record not flagged corrupt")
+	}
+	if len(res.Records) != 1 || !bytes.Equal(res.Records[0].Payload, []byte("keep-me")) {
+		t.Errorf("recovered %d records", len(res.Records))
+	}
+	if w2.Size() != boundary {
+		t.Errorf("size %d after corrupt truncate, want %d", w2.Size(), boundary)
+	}
+}
+
+func TestWALBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTAWAL!extra"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path, true); !errors.Is(err, ErrCorruptWAL) {
+		t.Errorf("bad magic: got %v, want ErrCorruptWAL", err)
+	}
+}
+
+func TestWALResetAndAdvanceSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := mustOpenWAL(t, path)
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 0 {
+		t.Errorf("records after reset: %d", w.Records())
+	}
+	// Sequence numbers keep counting past the reset within one process...
+	if seq, err := w.Append([]byte("y")); err != nil || seq != 6 {
+		t.Errorf("append after reset: seq=%d err=%v, want 6", seq, err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// ...and across a restart the snapshot epoch restores the floor.
+	w2, res := mustOpenWAL(t, path)
+	defer w2.Close()
+	if len(res.Records) != 0 {
+		t.Fatalf("reopen after reset recovered %d records", len(res.Records))
+	}
+	w2.AdvanceSeq(6) // the compacted snapshot's epoch
+	if seq, err := w2.Append([]byte("z")); err != nil || seq != 7 {
+		t.Errorf("append after AdvanceSeq: seq=%d err=%v, want 7", seq, err)
+	}
+	w2.AdvanceSeq(3) // never lowers the floor
+	if w2.LastSeq() != 7 {
+		t.Errorf("AdvanceSeq lowered lastSeq to %d", w2.LastSeq())
+	}
+}
+
+func TestScanRecordsRejectsNonIncreasingSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _ := mustOpenWAL(t, path)
+	if _, err := w.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	one := w.Size() - int64(len(walMagic))
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the frame: same seq twice must flag corruption.
+	frame := data[len(walMagic) : int64(len(walMagic))+one]
+	res, err := ScanRecords(append(data, frame...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Corrupt || len(res.Records) != 1 {
+		t.Errorf("duplicated seq: corrupt=%v records=%d, want corrupt with 1 record", res.Corrupt, len(res.Records))
+	}
+}

@@ -65,6 +65,19 @@ type ApplyResult struct {
 	Graph *Graph `json:"-"`
 }
 
+// SetMutationHook installs (or, with nil, removes) a commit hook on the
+// session's mutation path: Apply hands it each batch's effective
+// mutations (canonical, deduplicated, deletions before insertions) after
+// validation and before anything changes. A hook error aborts the Apply
+// with the graph untouched — this is the durability barrier kplistd uses
+// to make the write-ahead log never lag the served state. No-op batches
+// never reach the hook.
+func (s *Session) SetMutationHook(h func([]Mutation) error) {
+	s.applyMu.Lock()
+	s.mutHook = h
+	s.applyMu.Unlock()
+}
+
 // Apply applies a batch of edge mutations to the session's graph and
 // returns what changed. The whole batch validates first — one bad
 // mutation (endpoint outside [0, N), self-loop, unknown op) rejects it
@@ -96,6 +109,7 @@ func (s *Session) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, err
 	if s.dyn == nil {
 		s.dyn = graph.NewDynGraph(old.g, graph.DynConfig{})
 	}
+	s.dyn.SetCommitHook(s.mutHook)
 	delta, err := s.dyn.ApplyBatch(muts)
 	if err != nil {
 		return nil, err

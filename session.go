@@ -132,9 +132,11 @@ type Session struct {
 	closed bool
 
 	// applyMu serializes mutators; dyn is the mutable-edge engine behind
-	// Apply, created on first use (both guarded by applyMu).
+	// Apply, created on first use; mutHook, when set, observes each
+	// effective batch before it commits (all guarded by applyMu).
 	applyMu sync.Mutex
 	dyn     *graph.DynGraph
+	mutHook func([]Mutation) error
 
 	gtMu sync.Mutex
 	gt   map[int]*gtEntry

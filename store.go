@@ -1,0 +1,56 @@
+package kplist
+
+// The durable-store surface: snapshot files, per-graph write-ahead logs,
+// and crash recovery. A Graph serializes to an immutable snapshot file
+// (versioned header, checksummed sections, flat little-endian arrays)
+// that OpenGraphSnapshot serves straight off a read-only memory mapping —
+// including the clique-enumeration kernel's CSR, so a reloaded graph
+// lists cliques without re-deriving anything. GraphStore adds the WAL and
+// compaction on top; kplistd's -data-dir persistence is built from these
+// pieces. See DESIGN.md §10 for the formats and the recovery sequence.
+
+import "kplist/internal/graph"
+
+// GraphSnapshot is an opened snapshot file serving an immutable Graph
+// directly off its memory mapping.
+type GraphSnapshot = graph.GraphSnapshot
+
+// GraphStore is one graph's durable backing: a snapshot file plus a WAL
+// of committed mutation batches, with compaction and crash recovery.
+type GraphStore = graph.GraphStore
+
+// StoreConfig tunes a GraphStore (compaction thresholds, fsync policy).
+type StoreConfig = graph.StoreConfig
+
+// RecoveryStats describes what OpenGraphStore found on disk and replayed.
+type RecoveryStats = graph.RecoveryStats
+
+// WriteGraphSnapshot writes g to path as an immutable snapshot file,
+// crash-atomically. The graph's enumeration kernel is forced and stored,
+// so opening the file never rebuilds it. epoch tags the WAL sequence
+// number the snapshot covers through (0 for a standalone snapshot).
+func WriteGraphSnapshot(path string, g *Graph, epoch uint64) error {
+	return graph.WriteGraphSnapshot(path, g, epoch)
+}
+
+// OpenGraphSnapshot memory-maps the snapshot at path, validates every
+// checksum, and returns a ready-to-serve Graph whose adjacency and
+// enumeration kernel alias the mapping: listings run with zero rebuild
+// work. Close the snapshot only after its graph's last use.
+func OpenGraphSnapshot(path string) (*GraphSnapshot, error) {
+	return graph.OpenGraphSnapshot(path)
+}
+
+// CreateGraphStore initializes dir as a durable store holding g: a
+// snapshot at epoch 0 plus an empty WAL.
+func CreateGraphStore(dir string, g *Graph, cfg StoreConfig) (*GraphStore, error) {
+	return graph.CreateGraphStore(dir, g, cfg)
+}
+
+// OpenGraphStore recovers the store in dir — newest valid snapshot plus
+// WAL-tail replay — returning the store, the recovered graph, and what
+// recovery did. The graph reflects exactly the batches the store
+// acknowledged before the last shutdown or crash.
+func OpenGraphStore(dir string, cfg StoreConfig) (*GraphStore, *Graph, RecoveryStats, error) {
+	return graph.OpenGraphStore(dir, cfg)
+}
