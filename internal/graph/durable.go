@@ -63,12 +63,13 @@ type RecoveryStats struct {
 
 // GraphStore is one graph's open durable backing. Appends serialize on
 // the caller (the server's per-graph mutation lock); GraphStore adds no
-// locking of its own.
+// locking of its own. The graph OpenGraphStore returns is heap-owned —
+// no mapping outlives the open — so Close is safe at any time, even
+// while recovered graphs still serve in-flight reads.
 type GraphStore struct {
-	dir  string
-	cfg  StoreConfig
-	wal  *store.WAL
-	snap *GraphSnapshot // the mapping live reads may still alias
+	dir string
+	cfg StoreConfig
+	wal *store.WAL
 }
 
 // CreateGraphStore initializes dir (creating it) with a snapshot of g at
@@ -152,14 +153,21 @@ func OpenGraphStore(dir string, cfg StoreConfig) (*GraphStore, *Graph, RecoveryS
 		stats.WALRecords++
 	}
 	if dyn != nil {
-		// Replay rebuilt the graph on the heap; nothing aliases the
-		// mapping any more, so release it now.
+		// Replay rebuilt the graph on the heap (DynGraph clones every row
+		// up front); nothing aliases the mapping.
 		g = dyn.Snapshot()
-		gs.Close()
-		gs = nil
+	} else {
+		// The snapshot-backed graph aliases the mapping, but the store
+		// must be closable (DELETE, shutdown) while the recovered graph is
+		// still serving in-flight reads — an unmap under a live reader is
+		// a segfault, and no layer above tracks the last reader. Hand out
+		// a heap copy instead; the stored kernel is still adopted, so
+		// recovery never pays the peel.
+		g = gs.Materialize()
 	}
+	gs.Close()
 	stats.Elapsed = time.Since(start)
-	return &GraphStore{dir: dir, cfg: cfg, wal: wal, snap: gs}, g, stats, nil
+	return &GraphStore{dir: dir, cfg: cfg, wal: wal}, g, stats, nil
 }
 
 // AppendBatch logs one effective mutation batch, durably unless the
@@ -217,18 +225,10 @@ func (s *GraphStore) Sync() error { return s.wal.Sync() }
 // Dir returns the store's directory.
 func (s *GraphStore) Dir() string { return s.dir }
 
-// Close releases the WAL and any snapshot mapping recovery left open.
-// The graph returned by OpenGraphStore may alias that mapping, so Close
-// only after its last reader is done.
+// Close releases the WAL. The graph returned by OpenGraphStore is
+// heap-owned and stays valid after Close.
 func (s *GraphStore) Close() error {
-	err := s.wal.Close()
-	if s.snap != nil {
-		if cerr := s.snap.Close(); err == nil {
-			err = cerr
-		}
-		s.snap = nil
-	}
-	return err
+	return s.wal.Close()
 }
 
 func snapPath(dir string, epoch uint64) string {

@@ -67,6 +67,49 @@ func TestGraphSnapshotServesWithoutKernelRebuild(t *testing.T) {
 	}
 }
 
+// The graph OpenGraphStore returns must be heap-owned: closing the
+// store (the server's DELETE and shutdown paths) unmaps nothing a live
+// reader can still touch. Every read below happens after Close — with
+// the graph still aliasing the mapping this would fault, not fail — and
+// the construction counter proves materializing still adopts the stored
+// kernel rather than re-deriving it.
+func TestGraphStoreGraphSurvivesClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := ErdosRenyi(200, 0.1, rng)
+	want := src.ListCliques(3)
+	dir := t.TempDir()
+	st, err := CreateGraphStore(dir, src, StoreConfig{NoSync: true})
+	if err != nil {
+		t.Fatalf("CreateGraphStore: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := KernelBuilds()
+	st2, g, stats, err := OpenGraphStore(dir, StoreConfig{NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenGraphStore: %v", err)
+	}
+	if !stats.SnapshotLoaded || stats.WALRecords != 0 {
+		t.Fatalf("recovery stats: %+v, want a snapshot load with no replay", stats)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		if got := cliqueList(t, g, 3, workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: listing after store Close differs from source graph", workers)
+		}
+	}
+	if g.N() != src.N() || g.M() != src.M() {
+		t.Errorf("dimensions after Close: got (%d,%d) want (%d,%d)", g.N(), g.M(), src.N(), src.M())
+	}
+	if builds := KernelBuilds() - before; builds != 0 {
+		t.Errorf("recovery derived %d kernels, want 0 (stored CSR must be adopted)", builds)
+	}
+}
+
 func TestOpenGraphSnapshotRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.kpsnap")

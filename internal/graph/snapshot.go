@@ -14,6 +14,7 @@ package graph
 import (
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"kplist/internal/store"
 )
@@ -160,6 +161,32 @@ func csrSection(snap *store.Snapshot, offName, headName string, n int) ([]int32,
 // Graph returns the snapshot-backed graph. It is immutable and valid
 // only until Close.
 func (s *GraphSnapshot) Graph() *Graph { return s.g }
+
+// Materialize returns a fully heap-owned copy of the snapshot's graph:
+// the adjacency rows and the adopted kernel CSR are copied out of the
+// mapping, so the returned graph stays valid after Close. The stored
+// kernel is still adopted, never re-derived — materializing costs one
+// memcpy of the flat arrays, not a degeneracy peel.
+func (s *GraphSnapshot) Materialize() *Graph {
+	src := s.g
+	total := 0
+	for _, row := range src.adj {
+		total += len(row)
+	}
+	flat := make([]V, 0, total)
+	adj := make([][]V, src.n)
+	for v, row := range src.adj {
+		start := len(flat)
+		flat = append(flat, row...)
+		adj[v] = flat[start:len(flat):len(flat)]
+	}
+	g := &Graph{n: src.n, m: src.m, adj: adj}
+	k := src.kern.Load()
+	g.kern.Store(kernelFromCSR(k.n,
+		slices.Clone(k.off), slices.Clone(k.heads), slices.Clone(k.orig),
+		k.maxOut, k.maxID))
+	return g
+}
 
 // Epoch returns the WAL sequence number the snapshot covers through.
 func (s *GraphSnapshot) Epoch() uint64 { return s.epoch }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -137,7 +138,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.persist != nil {
-		if err := s.persist.create(info.ID, g, s.reg); err != nil {
+		if err := s.persist.create(info, g, s.reg); err != nil {
 			// Roll the registration back: a graph the store cannot hold
 			// durably is not registered at all.
 			_ = s.reg.Remove(info.ID)
@@ -421,9 +422,15 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 	// Compact when the WAL has outgrown its bounds: the just-published
 	// snapshot reflects every logged batch, the mutation lock keeps new
 	// appends out, and a failure is retried on a later batch (recovery
-	// replays the long log either way).
+	// replays the long log either way). A failure never surfaces to the
+	// client — the batch is committed — but it is logged and counted:
+	// a persistently failing compaction (disk full) lets the WAL grow
+	// without bound, and the operator needs the signal.
 	if st != nil && st.ShouldCompact() {
-		if err := st.Compact(ar.Graph); err == nil {
+		if err := st.Compact(ar.Graph); err != nil {
+			s.met.recordCompactionFailure()
+			log.Printf("kplistd: compacting graph %s: %v", id, err)
+		} else {
 			s.met.recordCompaction()
 		}
 	}

@@ -131,9 +131,10 @@ type metrics struct {
 
 	// Durability counters (the -data-dir path): committed WAL appends
 	// with their fsync-inclusive latency, and snapshot compactions.
-	walAppends  int64
-	walFsync    *histogram
-	compactions int64
+	walAppends         int64
+	walFsync           *histogram
+	compactions        int64
+	compactionFailures int64
 }
 
 func newMetrics() *metrics {
@@ -163,6 +164,15 @@ func (m *metrics) recordCompaction() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.compactions++
+}
+
+// recordCompactionFailure accounts one failed compaction attempt — the
+// WAL keeps growing until one succeeds, so the counter is the operator's
+// disk-pressure signal.
+func (m *metrics) recordCompactionFailure() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compactionFailures++
 }
 
 // recordMutation accounts one applied mutation batch.
@@ -308,6 +318,8 @@ func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
 	fmt.Fprintf(w, "kplistd_wal_appends_total %d\n", m.walAppends)
 	fmt.Fprintf(w, "# TYPE kplistd_snapshot_compactions_total counter\n")
 	fmt.Fprintf(w, "kplistd_snapshot_compactions_total %d\n", m.compactions)
+	fmt.Fprintf(w, "# TYPE kplistd_snapshot_compaction_failures_total counter\n")
+	fmt.Fprintf(w, "kplistd_snapshot_compaction_failures_total %d\n", m.compactionFailures)
 	fmt.Fprintf(w, "# TYPE kplistd_wal_fsync_seconds histogram\n")
 	{
 		h := m.walFsync

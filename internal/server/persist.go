@@ -11,7 +11,14 @@ package server
 // Ordering: graph files are created before the manifest lists them and
 // removed after the manifest forgets them, so the manifest only ever
 // points at directories that exist. Capacity is rejected before any file
-// is created, so ErrRegistryFull never leaves debris.
+// is created, so ErrRegistryFull never leaves debris. One mutex
+// serializes every create/remove end to end — the manifest is rewritten
+// whole on each change, so interleaved writers could corrupt it or
+// last-rename-wins could drop the other call's acknowledged graph (whose
+// directory the next boot would then sweep as an orphan). The manifest
+// is derived from this layer's own record of which stores exist, not
+// from the registry, which may already list a graph whose store creation
+// is still queued behind the lock.
 
 import (
 	"encoding/json"
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,14 +64,19 @@ type RecoveryReport struct {
 }
 
 // persistence owns the data directory: the per-graph stores and the
-// manifest. Store lookups are lock-protected; the stores themselves are
-// driven under the server's per-graph mutation locks.
+// manifest. The stores themselves are driven under the server's
+// per-graph mutation locks; mu guards the maps and serializes the
+// create/remove critical sections (store lookups on the mutation path
+// briefly share it — a PATCH may wait out another graph's registration).
 type persistence struct {
 	dir string
 	cfg kplist.StoreConfig
 
 	mu     sync.Mutex
 	stores map[string]*kplist.GraphStore
+	// infos is what the manifest lists: exactly the graphs whose store
+	// files exist on disk.
+	infos map[string]manifestGraph
 }
 
 func (p *persistence) graphDir(id string) string {
@@ -74,7 +87,12 @@ func (p *persistence) graphDir(id string) string {
 // and returns the persistence handle plus what recovery did.
 func openPersistence(dir string, cfg kplist.StoreConfig, reg *Registry) (*persistence, RecoveryReport, error) {
 	start := time.Now()
-	p := &persistence{dir: dir, cfg: cfg, stores: make(map[string]*kplist.GraphStore)}
+	p := &persistence{
+		dir:    dir,
+		cfg:    cfg,
+		stores: make(map[string]*kplist.GraphStore),
+		infos:  make(map[string]manifestGraph),
+	}
 	var rep RecoveryReport
 	if err := os.MkdirAll(filepath.Join(dir, "graphs"), 0o755); err != nil {
 		return nil, rep, err
@@ -97,6 +115,7 @@ func openPersistence(dir string, cfg kplist.StoreConfig, reg *Registry) (*persis
 			return nil, rep, err
 		}
 		p.stores[mg.ID] = st
+		p.infos[mg.ID] = mg
 		rep.Graphs++
 		rep.WALRecordsReplayed += stats.WALRecords
 		if stats.WALTorn || stats.WALCorrupt {
@@ -106,17 +125,13 @@ func openPersistence(dir string, cfg kplist.StoreConfig, reg *Registry) (*persis
 	// Sweep directories the manifest does not list: a crash between store
 	// creation and the manifest write, or between manifest removal and
 	// directory removal.
-	listed := make(map[string]bool, len(man.Graphs))
-	for _, mg := range man.Graphs {
-		listed[mg.ID] = true
-	}
 	entries, err := os.ReadDir(filepath.Join(dir, "graphs"))
 	if err != nil {
 		p.closeAll()
 		return nil, rep, err
 	}
 	for _, ent := range entries {
-		if !listed[ent.Name()] {
+		if _, listed := p.infos[ent.Name()]; !listed {
 			if err := os.RemoveAll(filepath.Join(dir, "graphs", ent.Name())); err != nil {
 				p.closeAll()
 				return nil, rep, err
@@ -144,26 +159,46 @@ func readManifest(path string) (manifest, error) {
 	return man, nil
 }
 
-// writeManifest snapshots the registry into the manifest, atomically
-// (temp + rename).
-func (p *persistence) writeManifest(reg *Registry) error {
-	man := manifest{NextID: reg.NextID()}
-	for _, info := range reg.List() {
-		man.Graphs = append(man.Graphs, manifestGraph{
-			ID: info.ID, Name: info.Name, Family: info.Family, Planted: info.Planted,
-		})
+// writeManifestLocked writes p.infos as the manifest, atomically (unique
+// temp file + fsync + rename). Callers hold p.mu, so manifest states
+// land on disk in the same order the maps changed.
+func (p *persistence) writeManifestLocked(nextID int) error {
+	man := manifest{NextID: nextID}
+	for _, mg := range p.infos {
+		man.Graphs = append(man.Graphs, mg)
 	}
+	sort.Slice(man.Graphs, func(i, j int) bool {
+		// IDs are "g<counter>": compare numerically via length-then-lex.
+		if len(man.Graphs[i].ID) != len(man.Graphs[j].ID) {
+			return len(man.Graphs[i].ID) < len(man.Graphs[j].ID)
+		}
+		return man.Graphs[i].ID < man.Graphs[j].ID
+	})
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(p.dir, manifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	tmp, err := os.CreateTemp(p.dir, manifestName+".tmp*")
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	name := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, filepath.Join(p.dir, manifestName)); err != nil {
+		os.Remove(name)
 		return err
 	}
 	return nil
@@ -177,23 +212,28 @@ func (p *persistence) store(id string) *kplist.GraphStore {
 	return p.stores[id]
 }
 
-// create initializes id's durable store holding g and records it in the
-// manifest. Called after the registry admitted the graph (capacity is
-// its concern); on failure the caller rolls the registration back.
-func (p *persistence) create(id string, g *kplist.Graph, reg *Registry) error {
-	st, err := kplist.CreateGraphStore(p.graphDir(id), g, p.cfg)
-	if err != nil {
-		os.RemoveAll(p.graphDir(id))
-		return err
-	}
-	if err := p.writeManifest(reg); err != nil {
-		st.Close()
-		os.RemoveAll(p.graphDir(id))
-		return err
-	}
+// create initializes the graph's durable store holding g and records it
+// in the manifest. Called after the registry admitted the graph
+// (capacity is its concern); on failure the caller rolls the
+// registration back.
+func (p *persistence) create(info GraphInfo, g *kplist.Graph, reg *Registry) error {
 	p.mu.Lock()
-	p.stores[id] = st
-	p.mu.Unlock()
+	defer p.mu.Unlock()
+	st, err := kplist.CreateGraphStore(p.graphDir(info.ID), g, p.cfg)
+	if err != nil {
+		os.RemoveAll(p.graphDir(info.ID))
+		return err
+	}
+	p.infos[info.ID] = manifestGraph{
+		ID: info.ID, Name: info.Name, Family: info.Family, Planted: info.Planted,
+	}
+	if err := p.writeManifestLocked(reg.NextID()); err != nil {
+		delete(p.infos, info.ID)
+		st.Close()
+		os.RemoveAll(p.graphDir(info.ID))
+		return err
+	}
+	p.stores[info.ID] = st
 	return nil
 }
 
@@ -203,16 +243,19 @@ func (p *persistence) create(id string, g *kplist.Graph, reg *Registry) error {
 // sweeps.
 func (p *persistence) remove(id string, reg *Registry) error {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	st := p.stores[id]
 	delete(p.stores, id)
-	p.mu.Unlock()
 	if st != nil {
 		if err := st.Close(); err != nil {
 			return err
 		}
 	}
-	if err := p.writeManifest(reg); err != nil {
-		return err
+	if _, listed := p.infos[id]; listed {
+		delete(p.infos, id)
+		if err := p.writeManifestLocked(reg.NextID()); err != nil {
+			return err
+		}
 	}
 	return os.RemoveAll(p.graphDir(id))
 }

@@ -2,12 +2,14 @@ package server_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -215,6 +217,90 @@ func TestOrphanDirectorySweep(t *testing.T) {
 	}
 	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
 		t.Error("orphan directory survived boot")
+	}
+}
+
+// Concurrent registrations and deletes must serialize their manifest
+// rewrites: with interleaved writers, last-rename-wins could publish a
+// manifest that forgets another call's acknowledged graph, whose
+// directory the next boot then sweeps as an orphan. Every acknowledged
+// registration that was not deleted must survive a restart.
+func TestConcurrentRegisterDeletePersistsSurvivors(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts := newPersistentServer(t, dir, func(c *server.Config) { c.MaxGraphs = 64 })
+
+	const workers = 10
+	ids := make([]string, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := strings.NewReader(`{"n":3,"edges":[[0,1],[1,2],[0,2]]}`)
+			resp, err := http.Post(ts.URL+"/v1/graphs", "application/json", body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var info struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusCreated || info.ID == "" {
+				errs[i] = fmt.Errorf("status %d id %q", resp.StatusCode, info.ID)
+				return
+			}
+			ids[i] = info.ID
+			// Odd workers immediately delete what they registered, racing
+			// their manifest removal against the other workers' creates.
+			if i%2 == 1 {
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/"+info.ID, nil)
+				dresp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				dresp.Body.Close()
+				if dresp.StatusCode != http.StatusNoContent {
+					errs[i] = fmt.Errorf("delete status %d", dresp.StatusCode)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	ts.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newPersistentServer(t, dir, func(c *server.Config) { c.MaxGraphs = 64 })
+	if want := workers / 2; s2.Recovery().Graphs != want {
+		t.Errorf("recovery found %d graphs, want %d", s2.Recovery().Graphs, want)
+	}
+	for i, id := range ids {
+		r, b := get(t, ts2.URL+"/v1/graphs/"+id)
+		if i%2 == 1 {
+			if r.StatusCode != http.StatusNotFound {
+				t.Errorf("deleted graph %s resurrected: %d (%s)", id, r.StatusCode, b)
+			}
+			if graphDirExists(dir, id) {
+				t.Errorf("deleted graph %s left files behind", id)
+			}
+			continue
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("graph %s lost across restart: %d (%s)", id, r.StatusCode, b)
+		}
 	}
 }
 

@@ -112,9 +112,11 @@ type WAL struct {
 	f       *os.File
 	path    string
 	noSync  bool
+	failed  bool // a rollback could not restore the committed prefix
 	size    int64
 	lastSeq uint64
 	records int64
+	sync    func() error // fsync; a test seam for injecting sync failures
 }
 
 // OpenWAL opens (creating if absent) the WAL at path, scans it, truncates
@@ -163,6 +165,7 @@ func OpenWAL(path string, noSync bool) (*WAL, ScanResult, error) {
 		return nil, res, err
 	}
 	w := &WAL{f: f, path: path, noSync: noSync, size: res.Valid, records: int64(len(res.Records))}
+	w.sync = f.Sync
 	if n := len(res.Records); n > 0 {
 		w.lastSeq = res.Records[n-1].Seq
 	}
@@ -170,10 +173,18 @@ func OpenWAL(path string, noSync bool) (*WAL, ScanResult, error) {
 }
 
 // Append writes one record with the next sequence number and fsyncs
-// before returning (unless the log was opened noSync). On a write error
-// the file is truncated back to the last committed record so the log
-// never carries a known-bad tail.
+// before returning (unless the log was opened noSync). On a write or
+// fsync error the file is truncated back to the last committed record so
+// the log never carries an unacknowledged tail: were a failed-fsync
+// frame left behind, the next successful Append would reuse its sequence
+// number after it, and the recovery scan's monotonicity check would
+// truncate the later, acknowledged batch. If the rollback itself fails,
+// the WAL refuses every further append — acknowledging writes past an
+// unremovable stale frame would corrupt the log.
 func (w *WAL) Append(payload []byte) (seq uint64, err error) {
+	if w.failed {
+		return 0, fmt.Errorf("store: WAL %s unusable after a failed rollback", w.path)
+	}
 	seq = w.lastSeq + 1
 	frame := make([]byte, walFrameHeader+len(payload))
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
@@ -181,12 +192,12 @@ func (w *WAL) Append(payload []byte) (seq uint64, err error) {
 	copy(frame[walFrameHeader:], payload)
 	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(frame[8:], castagnoli))
 	if _, err := w.f.Write(frame); err != nil {
-		_ = w.f.Truncate(w.size)
-		_, _ = w.f.Seek(w.size, io.SeekStart)
+		w.rollback()
 		return 0, err
 	}
 	if !w.noSync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.sync(); err != nil {
+			w.rollback()
 			return 0, err
 		}
 	}
@@ -194,6 +205,18 @@ func (w *WAL) Append(payload []byte) (seq uint64, err error) {
 	w.lastSeq = seq
 	w.records++
 	return seq, nil
+}
+
+// rollback rewinds the file to the last committed byte after a failed
+// append, marking the log unusable if the rewind itself fails.
+func (w *WAL) rollback() {
+	if err := w.f.Truncate(w.size); err != nil {
+		w.failed = true
+		return
+	}
+	if _, err := w.f.Seek(w.size, io.SeekStart); err != nil {
+		w.failed = true
+	}
 }
 
 // LastSeq returns the sequence number of the most recent record (0 when

@@ -107,6 +107,49 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 }
 
+// An fsync failure must leave no trace of the unacknowledged frame:
+// were it left on disk, the next successful append would write a
+// duplicate sequence number after it, and the recovery scan's
+// monotonicity check would truncate the later, acknowledged batch.
+func TestWALAppendSyncFailureRollsBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	committed := w.Size()
+	realSync := w.sync
+	w.sync = func() error { return errors.New("injected fsync failure") }
+	if _, err := w.Append([]byte("never-acked")); err == nil {
+		t.Fatal("append with failing fsync reported success")
+	}
+	if w.Size() != committed || w.LastSeq() != 1 || w.Records() != 1 {
+		t.Errorf("after failed append: size=%d lastSeq=%d records=%d, want size=%d lastSeq=1 records=1",
+			w.Size(), w.LastSeq(), w.Records(), committed)
+	}
+	w.sync = realSync
+	if seq, err := w.Append([]byte("second")); err != nil || seq != 2 {
+		t.Fatalf("append after transient fsync failure: seq=%d err=%v, want 2", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, res := mustOpenWAL(t, path)
+	defer w2.Close()
+	if res.Torn || res.Corrupt {
+		t.Errorf("reopen flagged torn=%v corrupt=%v after a rolled-back fsync failure", res.Torn, res.Corrupt)
+	}
+	if len(res.Records) != 2 ||
+		!bytes.Equal(res.Records[0].Payload, []byte("committed")) ||
+		!bytes.Equal(res.Records[1].Payload, []byte("second")) {
+		t.Errorf("recovered %d records, want the two acknowledged payloads", len(res.Records))
+	}
+}
+
 func TestWALCorruptRecordEndsScan(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	w, _ := mustOpenWAL(t, path)

@@ -50,7 +50,9 @@ func CreateGraphStore(dir string, g *Graph, cfg StoreConfig) (*GraphStore, error
 // OpenGraphStore recovers the store in dir — newest valid snapshot plus
 // WAL-tail replay — returning the store, the recovered graph, and what
 // recovery did. The graph reflects exactly the batches the store
-// acknowledged before the last shutdown or crash.
+// acknowledged before the last shutdown or crash. Unlike
+// OpenGraphSnapshot it is heap-owned (the stored kernel is adopted via a
+// copy, never re-derived), so it stays valid after the store is closed.
 func OpenGraphStore(dir string, cfg StoreConfig) (*GraphStore, *Graph, RecoveryStats, error) {
 	return graph.OpenGraphStore(dir, cfg)
 }
