@@ -1,12 +1,25 @@
 // Command benchrunner regenerates every experiment series recorded in
 // EXPERIMENTS.md (the paper's per-theorem round-complexity artefacts,
-// DESIGN.md §4). Run with no flags for the full suite, or select
-// experiments with -only.
+// DESIGN.md §4) and drives the continuous-benchmarking loop (DESIGN.md
+// §11). Run with no flags for the full suite, or select experiments with
+// -only.
 //
 //	benchrunner                 # everything, default sizes
 //	benchrunner -only e1,e3     # selected experiments
 //	benchrunner -quick          # small sizes (seconds instead of minutes)
 //	benchrunner -quick -update  # regenerate the committed goldens
+//
+// Continuous benchmarking (DESIGN.md §11):
+//
+//	benchrunner -kernelbench BENCH_kernel.json   # append a kernel run to the trajectory
+//	benchrunner -only e13 -storebench BENCH_store.json
+//	benchrunner -compare -kernelbench BENCH_kernel.json -storebench BENCH_store.json
+//	benchrunner -autotune tuning.json            # measure the kernel knobs on this host
+//	benchrunner -tuning tuning.json ...          # run any of the above under a profile
+//
+// -compare emits the newest run in standard Go benchfmt, judges it
+// against the median of the trajectory's same-host history, and exits
+// non-zero on regression — the CI bench-gate job.
 //
 // Golden maintenance: -update rewrites the golden files under -goldendir
 // (default cmd/benchrunner/testdata when run from the repo root) — and it
@@ -16,7 +29,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +37,7 @@ import (
 	"strings"
 
 	"kplist/internal/bench"
+	"kplist/internal/graph"
 )
 
 // golden binds one committed golden file to the experiments whose -quick
@@ -57,11 +70,15 @@ func run(args []string, w io.Writer) error {
 		only      = fs.String("only", "", "comma-separated experiments to run (e1..e13, kernel); empty = all")
 		quick     = fs.Bool("quick", false, "small sizes for a fast smoke run")
 		seed      = fs.Int64("seed", 1, "random seed")
-		workers   = fs.Int("workers", 0, "host goroutines for parallel-phase simulation (0 = GOMAXPROCS)")
-		kernOut   = fs.String("kernelbench", "", "write the kernel throughput baseline (BENCH_kernel.json) to this path; implies the kernel sweep runs")
+		workers   = fs.Int("workers", 0, "host goroutines for parallel-phase simulation and the kernel sweep fan-out (0 = GOMAXPROCS / the default {1,8} ladder)")
+		kernOut   = fs.String("kernelbench", "", "append this run to the kernel perf trajectory (BENCH_kernel.json) at this path; implies the kernel sweep runs")
 		storeOut  = fs.String("storebench", "", "append this run to the persistence trajectory (BENCH_store.json) at this path; implies e13 runs")
 		update    = fs.Bool("update", false, "rewrite the golden files whose experiments are all selected (requires -quick; scoped by -only)")
 		goldenDir = fs.String("goldendir", filepath.Join("cmd", "benchrunner", "testdata"), "directory holding the golden files -update rewrites")
+		compare   = fs.Bool("compare", false, "compare the newest run of the -kernelbench/-storebench trajectories against their same-host history (Go benchfmt output; non-zero exit on regression) instead of running experiments")
+		threshold = fs.Float64("threshold", bench.DefaultCompareThreshold, "base relative regression threshold for -compare (widened per cell by historical noise)")
+		autotune  = fs.String("autotune", "", "measure the kernel/incremental-engine tuning knobs on this host and write the profile to this path")
+		tuningIn  = fs.String("tuning", "", "load a tuning profile (from -autotune) and apply it before running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +92,21 @@ func run(args []string, w io.Writer) error {
 	enabled := func(tag string) bool { return len(want) == 0 || want[tag] }
 	if *update && !*quick {
 		return fmt.Errorf("-update rewrites the -quick goldens; run with -quick")
+	}
+	if *tuningIn != "" {
+		profile, err := bench.LoadTuningProfile(*tuningIn)
+		if err != nil {
+			return fmt.Errorf("tuning profile: %w", err)
+		}
+		if host := bench.Fingerprint(); !profile.Host.Comparable(host) {
+			fmt.Fprintf(os.Stderr, "benchrunner: warning: tuning profile %s was measured on %s, this host is %s\n",
+				*tuningIn, profile.Host, host)
+		}
+		graph.SetTuning(profile.Tuning)
+		fmt.Fprintf(w, "applied tuning profile %s\n", *tuningIn)
+	}
+	if *compare {
+		return runCompare(w, *kernOut, *storeOut, *threshold)
 	}
 
 	cfg := bench.Config{Seed: *seed, Workers: *workers}
@@ -137,25 +169,23 @@ func run(args []string, w io.Writer) error {
 	}
 	// The kernel throughput sweep is wall-clock (never golden-pinned), so
 	// it runs only when asked for: via -only kernel, or implicitly when a
-	// -kernelbench baseline path is given.
+	// -kernelbench trajectory path is given. The JSON output is an
+	// APPENDED trajectory (atomic temp-file + rename, the same overwrite
+	// discipline as the store), never an overwritten sample.
 	if want["kernel"] || *kernOut != "" {
 		fmt.Fprintln(w, "==== KERNEL ====")
-		kb := bench.KernelBench(*seed, *quick)
+		kb := bench.KernelBench(*seed, *quick, *workers)
 		fmt.Fprint(w, kb.Table())
 		if *kernOut != "" {
-			buf, err := json.MarshalIndent(kb, "", "  ")
+			n, err := bench.AppendRun(*kernOut, kb)
 			if err != nil {
-				return fmt.Errorf("kernel baseline: %w", err)
+				return fmt.Errorf("kernel trajectory: %w", err)
 			}
-			if err := os.WriteFile(*kernOut, append(buf, '\n'), 0o644); err != nil {
-				return fmt.Errorf("kernel baseline: %w", err)
-			}
-			fmt.Fprintf(w, "wrote %s\n", *kernOut)
+			fmt.Fprintf(w, "appended run %d to %s\n", n, *kernOut)
 		}
 	}
 	// E13 (persistence) is wall-clock like the kernel sweep: it runs via
-	// -only e13 or implicitly when a -storebench path is given, and the
-	// JSON output is an APPENDED trajectory, not an overwritten sample.
+	// -only e13 or implicitly when a -storebench path is given.
 	if want["e13"] || *storeOut != "" {
 		fmt.Fprintln(w, "==== E13 ====")
 		sr, err := bench.StoreBench(*seed, *quick)
@@ -164,12 +194,21 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprint(w, sr.Table())
 		if *storeOut != "" {
-			n, err := appendStoreRun(*storeOut, sr)
+			n, err := bench.AppendRun(*storeOut, sr)
 			if err != nil {
 				return fmt.Errorf("store trajectory: %w", err)
 			}
 			fmt.Fprintf(w, "appended run %d to %s\n", n, *storeOut)
 		}
+	}
+	if *autotune != "" {
+		fmt.Fprintln(w, "==== AUTOTUNE ====")
+		profile := bench.Autotune(*seed, *quick)
+		fmt.Fprint(w, profile.Table())
+		if err := bench.SaveTuningProfile(*autotune, profile); err != nil {
+			return fmt.Errorf("tuning profile: %w", err)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *autotune)
 	}
 	if *update {
 		return updateGoldens(w, *goldenDir, outputs, enabled)
@@ -177,26 +216,50 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
-// appendStoreRun appends run to the BENCH_store.json trajectory at path
-// (created if absent) and returns the new run count.
-func appendStoreRun(path string, run *bench.StoreRun) (int, error) {
-	var doc bench.StoreBaseline
-	if buf, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(buf, &doc); err != nil {
-			return 0, fmt.Errorf("existing %s is not a trajectory: %w", path, err)
+// runCompare is the -compare mode: load each given trajectory, emit the
+// newest run as Go benchfmt, judge it against the same-host history, and
+// error (non-zero exit) when any cell regressed. A trajectory whose
+// newest run has no comparable history is REFUSED — reported and skipped,
+// never failed — so a new machine's first run cannot masquerade as a
+// regression.
+func runCompare(w io.Writer, kernPath, storePath string, threshold float64) error {
+	if kernPath == "" && storePath == "" {
+		return fmt.Errorf("-compare needs at least one trajectory: give -kernelbench and/or -storebench")
+	}
+	var regressed []string
+	if kernPath != "" {
+		traj, err := bench.LoadKernelTrajectory(kernPath)
+		if err != nil {
+			return fmt.Errorf("compare: %w", err)
 		}
-	} else if !os.IsNotExist(err) {
-		return 0, err
+		if n := len(traj.Runs); n > 0 {
+			fmt.Fprint(w, traj.Runs[n-1].Benchfmt())
+		}
+		report := bench.CompareKernel(traj, threshold)
+		fmt.Fprint(w, report.Table())
+		for _, c := range report.Regressions() {
+			regressed = append(regressed, c.Name)
+		}
 	}
-	doc.Runs = append(doc.Runs, *run)
-	buf, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		return 0, err
+	if storePath != "" {
+		traj, err := bench.LoadStoreTrajectory(storePath)
+		if err != nil {
+			return fmt.Errorf("compare: %w", err)
+		}
+		if n := len(traj.Runs); n > 0 {
+			fmt.Fprint(w, traj.Runs[n-1].Benchfmt())
+		}
+		report := bench.CompareStore(traj, threshold)
+		fmt.Fprint(w, report.Table())
+		for _, c := range report.Regressions() {
+			regressed = append(regressed, c.Name)
+		}
 	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-		return 0, err
+	if len(regressed) > 0 {
+		return fmt.Errorf("performance regression in %d cell(s): %s",
+			len(regressed), strings.Join(regressed, ", "))
 	}
-	return len(doc.Runs), nil
+	return nil
 }
 
 // updateGoldens rewrites each registered golden whose experiments were all
@@ -228,6 +291,23 @@ func updateGoldens(w io.Writer, dir string, outputs map[string]string, enabled f
 		wrote++
 	}
 	if wrote == 0 {
+		// Distinguish "you selected half a golden group" (a mistake worth
+		// failing on) from "nothing you selected is golden-pinned at all"
+		// (the kernel and e13 sweeps are wall-clock by design, so
+		// `-only kernel -update` has nothing to do and should say so, not
+		// fail with a misleading error).
+		anyPinned := false
+		for _, gl := range goldens() {
+			for _, tag := range gl.tags {
+				if enabled(tag) {
+					anyPinned = true
+				}
+			}
+		}
+		if !anyPinned {
+			fmt.Fprintln(w, "-update: selection contains no golden-pinned experiments (the kernel and e13 sweeps are wall-clock and never golden-pinned); nothing to update")
+			return nil
+		}
 		return fmt.Errorf("-update wrote nothing: no golden's experiment set is fully selected")
 	}
 	return nil

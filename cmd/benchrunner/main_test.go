@@ -9,6 +9,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"kplist/internal/bench"
+	"kplist/internal/graph"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
@@ -163,9 +166,9 @@ func TestUpdateScopedByOnly(t *testing.T) {
 }
 
 // TestKernelBaseline runs the kernel throughput sweep in quick mode and
-// checks the JSON baseline document: full family × p × workers coverage
-// and deterministic clique counts (ns/op is hardware noise and not
-// asserted). Worker counts must not change any cell's clique census.
+// checks the appended trajectory document: full family × p × workers
+// coverage and deterministic clique counts (ns/op is hardware noise and
+// not asserted). Worker counts must not change any cell's clique census.
 func TestKernelBaseline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
 	var sb strings.Builder
@@ -177,23 +180,35 @@ func TestKernelBaseline(t *testing.T) {
 	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("baseline not written: %v", err)
+		t.Fatalf("trajectory not written: %v", err)
 	}
-	var kb struct {
-		GoVersion string `json:"goVersion"`
-		Rows      []struct {
-			Family  string `json:"family"`
-			P       int    `json:"p"`
-			Workers int    `json:"workers"`
-			Cliques int64  `json:"cliques"`
-			NsPerOp int64  `json:"nsPerOp"`
-		} `json:"rows"`
+	var doc struct {
+		Runs []struct {
+			GoVersion string `json:"goVersion"`
+			Host      struct {
+				Cores int `json:"cores"`
+			} `json:"host"`
+			Rows []struct {
+				Family  string `json:"family"`
+				P       int    `json:"p"`
+				Workers int    `json:"workers"`
+				Cliques int64  `json:"cliques"`
+				NsPerOp int64  `json:"nsPerOp"`
+			} `json:"rows"`
+		} `json:"runs"`
 	}
-	if err := json.Unmarshal(buf, &kb); err != nil {
-		t.Fatalf("bad baseline JSON: %v", err)
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("bad trajectory JSON: %v", err)
 	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("trajectory has %d runs, want 1", len(doc.Runs))
+	}
+	kb := doc.Runs[0]
 	if kb.GoVersion == "" || len(kb.Rows) != 3*3*2 {
-		t.Fatalf("baseline has %d rows (want 18), goVersion %q", len(kb.Rows), kb.GoVersion)
+		t.Fatalf("run has %d rows (want 18), goVersion %q", len(kb.Rows), kb.GoVersion)
+	}
+	if kb.Host.Cores <= 0 {
+		t.Errorf("run is missing its host fingerprint: %s", buf[:200])
 	}
 	census := map[string]int64{}
 	for _, r := range kb.Rows {
@@ -209,6 +224,125 @@ func TestKernelBaseline(t *testing.T) {
 	// -only kernel must not run the experiment series.
 	if strings.Contains(sb.String(), "==== E6 ====") {
 		t.Error("-only kernel should not run E6")
+	}
+}
+
+// TestKernelTrajectoryAppendsAndMigrates seeds the path with a LEGACY
+// single-run baseline document, then appends twice: the legacy document
+// must survive verbatim as run 0 and the file must accumulate runs — the
+// BENCH_kernel.json migration semantics.
+func TestKernelTrajectoryAppendsAndMigrates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	legacy := `{"goVersion":"go1.0-legacy","gomaxprocs":1,"quick":false,"seed":1,"rows":[{"family":"sparse-gnp","n":1024,"m":10562,"p":3,"workers":1,"cliques":1435,"nsPerOp":945455}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 3; i++ {
+		var sb strings.Builder
+		if err := run([]string{"-quick", "-only", "kernel", "-kernelbench", path}, &sb); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("appended run %d to %s", i, path); !strings.Contains(sb.String(), want) {
+			t.Errorf("append %d missing %q:\n%s", i, want, sb.String())
+		}
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("bad trajectory JSON: %v", err)
+	}
+	if len(doc.Runs) != 3 {
+		t.Fatalf("trajectory has %d runs, want 3 (legacy + 2 appends)", len(doc.Runs))
+	}
+	var run0 struct {
+		GoVersion string `json:"goVersion"`
+		Rows      []struct {
+			Cliques int64 `json:"cliques"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(doc.Runs[0], &run0); err != nil {
+		t.Fatal(err)
+	}
+	if run0.GoVersion != "go1.0-legacy" || len(run0.Rows) != 1 || run0.Rows[0].Cliques != 1435 {
+		t.Errorf("legacy baseline was not preserved as run 0: %s", doc.Runs[0])
+	}
+	// No stray temp files from the atomic writes.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("append left temp files behind: %v", names)
+	}
+}
+
+// TestKernelSweepHonorsWorkers pins the -workers bugfix: the kernel sweep
+// must measure the requested fan-out, not a hardcoded ladder.
+func TestKernelSweepHonorsWorkers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "kernel", "-workers", "3", "-kernelbench", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Workers int `json:"workers"`
+			Rows    []struct {
+				Workers int `json:"workers"`
+			} `json:"rows"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(doc.Runs))
+	}
+	if doc.Runs[0].Workers != 3 {
+		t.Errorf("run did not record -workers 3, got %d", doc.Runs[0].Workers)
+	}
+	counts := map[int]bool{}
+	for _, r := range doc.Runs[0].Rows {
+		counts[r.Workers] = true
+	}
+	if !counts[3] || counts[8] {
+		t.Errorf("sweep measured worker counts %v, want {1, 3}", counts)
+	}
+}
+
+// TestUpdateWithNoGoldenPinnedSelection pins the misleading-error bugfix:
+// -update with a selection that is never golden-pinned (kernel, e13) must
+// explain that instead of failing.
+func TestUpdateWithNoGoldenPinnedSelection(t *testing.T) {
+	for _, tags := range []string{"kernel", "e13"} {
+		dir := t.TempDir()
+		var sb strings.Builder
+		if err := run([]string{"-quick", "-only", tags, "-update", "-goldendir", dir}, &sb); err != nil {
+			t.Fatalf("-only %s -update should not fail: %v", tags, err)
+		}
+		if !strings.Contains(sb.String(), "never golden-pinned") {
+			t.Errorf("-only %s -update should explain there is nothing to update:\n%s", tags, sb.String())
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 0 {
+			t.Errorf("-only %s -update wrote files: %v", tags, entries)
+		}
 	}
 }
 
@@ -263,6 +397,122 @@ func TestStoreTrajectoryAppends(t *testing.T) {
 				t.Errorf("%s: non-positive cold-open time", s.Family)
 			}
 		}
+	}
+}
+
+// writeSyntheticKernelTrajectory builds a same-host trajectory of
+// baseRuns runs whose cells sit at base ns ± jitter, then one newest run
+// scaled by newestScale, and writes it to path.
+func writeSyntheticKernelTrajectory(t *testing.T, path string, baseRuns int, newestScale float64) {
+	t.Helper()
+	host := bench.HostFingerprint{CPU: "synthetic-cpu", Cores: 8, GOMAXPROCS: 8, GoVersion: "go1.24.0", OS: "linux", Arch: "amd64"}
+	mkRun := func(scale float64, jitter int64) bench.KernelRun {
+		run := bench.KernelRun{Host: host, GoVersion: host.GoVersion, GOMAXPROCS: 8, Quick: true, Seed: 1}
+		for i, family := range []string{"sparse-gnp", "dense-gnp"} {
+			base := int64(1_000_000 * (i + 1))
+			run.Rows = append(run.Rows, bench.KernelMeasurement{
+				Family: family, N: 128, M: 1000, P: 4, Workers: 1, Cliques: 42,
+				NsPerOp: int64(float64(base)*scale) + jitter,
+			})
+		}
+		return run
+	}
+	for i := 0; i < baseRuns; i++ {
+		if _, err := bench.AppendRun(path, mkRun(1.0, int64(i*9000-9000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := bench.AppendRun(path, mkRun(newestScale, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareGate pins the CI regression gate end to end through the CLI:
+// an injected ≥10% regression fails with a named cell, within-noise
+// jitter passes, and a trajectory with no comparable history is refused,
+// not failed.
+func TestCompareGate(t *testing.T) {
+	t.Run("regression fails", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+		writeSyntheticKernelTrajectory(t, path, 3, 1.5)
+		var sb strings.Builder
+		err := run([]string{"-compare", "-kernelbench", path}, &sb)
+		if err == nil || !strings.Contains(err.Error(), "regression") {
+			t.Fatalf("injected 50%% regression should fail the gate, got %v\n%s", err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "REGRESSED") {
+			t.Errorf("report should mark the regressed cells:\n%s", sb.String())
+		}
+		if !strings.Contains(sb.String(), "BenchmarkKernel/family=") {
+			t.Errorf("compare should emit Go benchfmt:\n%s", sb.String())
+		}
+	})
+	t.Run("jitter passes", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+		writeSyntheticKernelTrajectory(t, path, 3, 1.02)
+		var sb strings.Builder
+		if err := run([]string{"-compare", "-kernelbench", path}, &sb); err != nil {
+			t.Fatalf("2%% jitter should pass the gate: %v\n%s", err, sb.String())
+		}
+	})
+	t.Run("mismatched host refuses", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "BENCH_kernel.json")
+		writeSyntheticKernelTrajectory(t, path, 3, 1.0)
+		// Append a wildly slower run from a DIFFERENT host: must be
+		// refused, not reported as a regression.
+		other := bench.KernelRun{
+			Host:      bench.HostFingerprint{CPU: "other-cpu", Cores: 2, GOMAXPROCS: 2, GoVersion: "go1.24.0", OS: "linux", Arch: "arm64"},
+			GoVersion: "go1.24.0", GOMAXPROCS: 2, Quick: true, Seed: 1,
+			Rows: []bench.KernelMeasurement{{Family: "sparse-gnp", N: 128, M: 1000, P: 4, Workers: 1, Cliques: 42, NsPerOp: 9_000_000}},
+		}
+		if _, err := bench.AppendRun(path, other); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := run([]string{"-compare", "-kernelbench", path}, &sb); err != nil {
+			t.Fatalf("cross-host comparison must be refused, not failed: %v\n%s", err, sb.String())
+		}
+		if !strings.Contains(sb.String(), "comparison skipped") {
+			t.Errorf("report should say the comparison was skipped:\n%s", sb.String())
+		}
+	})
+	t.Run("no trajectory given", func(t *testing.T) {
+		if err := run([]string{"-compare"}, io.Discard); err == nil {
+			t.Fatal("-compare with no trajectory paths should error")
+		}
+	})
+}
+
+// TestAutotuneProfileRoundTrip runs the (quick) autotune sweep through
+// the CLI, then loads the emitted profile back with -tuning.
+func TestAutotuneProfileRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("autotune sweep in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "tuning.json")
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "kernel", "-autotune", path}, &sb); err != nil {
+		t.Fatalf("autotune: %v", err)
+	}
+	if !strings.Contains(sb.String(), "==== AUTOTUNE ====") || !strings.Contains(sb.String(), "<- picked") {
+		t.Errorf("missing autotune evidence table:\n%s", sb.String())
+	}
+	profile, err := bench.LoadTuningProfile(path)
+	if err != nil {
+		t.Fatalf("load profile: %v", err)
+	}
+	if profile.Tuning.RootChunk < 1 || profile.Tuning.BitsetCut < 1 || profile.Tuning.RebuildFraction <= 0 {
+		t.Errorf("profile has unmeasured knobs: %+v", profile.Tuning)
+	}
+	// Applying the profile must work end to end (host matches, so no
+	// warning path involved).
+	defer graph.SetTuning(graph.Tuning{})
+	var sb2 strings.Builder
+	if err := run([]string{"-quick", "-only", "e6", "-tuning", path}, &sb2); err != nil {
+		t.Fatalf("-tuning: %v", err)
+	}
+	if !strings.Contains(sb2.String(), "applied tuning profile") {
+		t.Errorf("missing tuning-applied notice:\n%s", sb2.String())
 	}
 }
 

@@ -1,0 +1,249 @@
+package bench
+
+// The autotune sweep behind `benchrunner -autotune`: measure the kernel
+// and incremental-engine knobs (DESIGN.md §11) on the CURRENT host and
+// emit a TuningProfile the kernel can load, instead of trusting the
+// hand-picked constants tuned on the original development box. Every
+// knob is a pure performance trade-off — listing output is byte-identical
+// under any profile — so the sweep only ever times, never re-validates.
+//
+// Knobs and how they are measured:
+//   - rootChunk: parallel listing of the dense family across chunk sizes
+//     (contention vs load balance).
+//   - bitsetCut: single-worker listing of the dense family across
+//     merge→probe switch ratios (the bitmap-vs-merge crossover).
+//   - rowMinOut: single-worker listing of the sparse+planted families
+//     with row bitmaps forced on earlier/later/off (whether building the
+//     bitmaps pays off at moderate degeneracy).
+//   - rebuildFraction / rebuildMinBatch: a seeded mutation-churn schedule
+//     applied through DynGraph across threshold settings (incremental
+//     patch vs full-rebuild crossover).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"kplist/internal/graph"
+)
+
+// AutotuneSample is one measured candidate of one knob.
+type AutotuneSample struct {
+	Knob    string `json:"knob"`
+	Value   string `json:"value"`
+	NsPerOp int64  `json:"nsPerOp"`
+	Picked  bool   `json:"picked"`
+}
+
+// TuningProfile is the autotune output document: the picked knobs plus
+// the evidence, fingerprinted because a profile measured on one machine
+// is only advice on another.
+type TuningProfile struct {
+	Date     string           `json:"date"`
+	Host     HostFingerprint  `json:"host"`
+	Quick    bool             `json:"quick"`
+	Seed     int64            `json:"seed"`
+	Tuning   graph.Tuning     `json:"tuning"`
+	Evidence []AutotuneSample `json:"evidence"`
+}
+
+// Autotune sweeps the tuning knobs on the current host and returns the
+// fastest settings found. The process-wide tuning is restored to its
+// prior value before returning — callers decide whether to apply the
+// profile.
+func Autotune(seed int64, quick bool) *TuningProfile {
+	prev := graph.CurrentTuning()
+	defer graph.SetTuning(prev)
+
+	profile := &TuningProfile{
+		Date:  time.Now().UTC().Format(time.RFC3339),
+		Host:  Fingerprint(),
+		Quick: quick,
+		Seed:  seed,
+	}
+	reps := 3
+	denseN, sparseN, plantedN, churnN := 192, 768, 384, 160
+	if quick {
+		reps = 2
+		denseN, sparseN, plantedN, churnN = 128, 512, 256, 96
+	}
+	picked := graph.DefaultTuning()
+
+	// sweep times each candidate under picked+candidate tuning, records
+	// the evidence, applies the winner to picked, and returns it.
+	sweep := func(knob string, values []string, apply func(*graph.Tuning, int), measure func() time.Duration) int {
+		bestIdx := -1
+		var bestNs int64
+		start := len(profile.Evidence)
+		for i := range values {
+			t := picked
+			apply(&t, i)
+			graph.SetTuning(t)
+			ns := measure().Nanoseconds()
+			profile.Evidence = append(profile.Evidence, AutotuneSample{Knob: knob, Value: values[i], NsPerOp: ns})
+			if bestIdx < 0 || ns < bestNs {
+				bestIdx, bestNs = i, ns
+			}
+		}
+		profile.Evidence[start+bestIdx].Picked = true
+		apply(&picked, bestIdx)
+		graph.SetTuning(picked)
+		return bestIdx
+	}
+
+	rng := func(off int64) *rand.Rand { return rand.New(rand.NewSource(seed + off)) }
+	newDense := func() *graph.Graph { return graph.ErdosRenyi(denseN, 0.4, rng(0)) }
+	newSparse := func() *graph.Graph { return graph.ErdosRenyi(sparseN, 0.02, rng(1)) }
+	newPlanted := func() *graph.Graph {
+		g, _ := graph.PlantedCliques(plantedN, 5, 8, 0.05, rng(2))
+		return g
+	}
+
+	// listNs builds fresh graphs (so their kernels capture the candidate
+	// tuning) and times one full listing pass, best of reps.
+	listNs := func(workers int, p int, mk ...func() *graph.Graph) time.Duration {
+		return bestOf(reps, func() error {
+			for _, f := range mk {
+				f().ListCliquesWorkers(p, workers)
+			}
+			return nil
+		})
+	}
+
+	// 1. Parallel root chunk: contention vs balance at the fan-out the
+	// host actually has.
+	workers := min(8, max(2, profile.Host.GOMAXPROCS))
+	chunks := []int{8, 16, 32, 64, 128}
+	sweep("rootChunk", intStrings(chunks),
+		func(t *graph.Tuning, i int) { t.RootChunk = chunks[i] },
+		func() time.Duration { return listNs(workers, 4, newDense) })
+
+	// 2. Bitmap-vs-merge crossover ratio on the dense family.
+	cuts := []int{1, 2, 3, 4, 6}
+	sweep("bitsetCut", intStrings(cuts),
+		func(t *graph.Tuning, i int) { t.BitsetCut = cuts[i] },
+		func() time.Duration { return listNs(1, 4, newDense) })
+
+	// 3. Row-bitmap build floor on the moderate-degeneracy families
+	// (the dense family always clears any sane floor, so it carries no
+	// signal here). The last candidate disables rows outright.
+	const rowsOff = 1 << 30
+	floors := []int{8, 16, 32, 64, rowsOff}
+	floorLabels := []string{"8", "16", "32", "64", "off"}
+	sweep("rowMinOut", floorLabels,
+		func(t *graph.Tuning, i int) { t.RowMinOut = floors[i] },
+		func() time.Duration { return listNs(1, 4, newSparse, newPlanted) })
+
+	// 4. Incremental-apply rebuild thresholds under a seeded churn
+	// schedule (mixed batch sizes straddling the candidate thresholds).
+	base := graph.ErdosRenyi(churnN, 0.25, rng(3))
+	schedule := churnSchedule(churnN, base.M(), rng(4))
+	churnNs := func() time.Duration {
+		return bestOf(reps, func() error {
+			d := graph.NewDynGraph(base, graph.DynConfig{}, 3, 4)
+			for _, batch := range schedule {
+				if _, err := d.ApplyBatch(batch); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	fracs := []float64{0.02, 0.05, 0.10, 0.20, 0.40}
+	fracLabels := make([]string, len(fracs))
+	for i, f := range fracs {
+		fracLabels[i] = fmt.Sprintf("%.2f", f)
+	}
+	sweep("rebuildFraction", fracLabels,
+		func(t *graph.Tuning, i int) { t.RebuildFraction = fracs[i] },
+		churnNs)
+	minBatches := []int{8, 16, 32, 64, 128}
+	sweep("rebuildMinBatch", intStrings(minBatches),
+		func(t *graph.Tuning, i int) { t.RebuildMinBatch = minBatches[i] },
+		churnNs)
+
+	profile.Tuning = picked
+	return profile
+}
+
+// churnSchedule builds a deterministic mutation schedule: batches of
+// geometrically ramping sizes toggling random vertex pairs, so small
+// batches exercise the incremental path and large ones straddle every
+// candidate rebuild threshold.
+func churnSchedule(n, m int, rng *rand.Rand) [][]graph.Mutation {
+	var schedule [][]graph.Mutation
+	for size := 2; size <= max(m/3, 8); size *= 2 {
+		for rep := 0; rep < 2; rep++ {
+			batch := make([]graph.Mutation, 0, size)
+			for len(batch) < size {
+				u, v := graph.V(rng.Intn(n)), graph.V(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				op := graph.MutAdd
+				if rng.Intn(2) == 0 {
+					op = graph.MutDel
+				}
+				batch = append(batch, graph.Mutation{Op: op, Edge: graph.Edge{U: u, V: v}})
+			}
+			schedule = append(schedule, batch)
+		}
+	}
+	return schedule
+}
+
+// Table renders the profile: the picked tuning, then the evidence sweep.
+func (p *TuningProfile) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# autotune (%s, quick=%v, seed=%d)\n", p.Host, p.Quick, p.Seed)
+	t := p.Tuning
+	fmt.Fprintf(&sb, "picked: rootChunk=%d bitsetCut=%d rowMinOut=%d rowMaxN=%d rebuildFraction=%.2f rebuildMinBatch=%d\n",
+		t.RootChunk, t.BitsetCut, t.RowMinOut, t.RowMaxN, t.RebuildFraction, t.RebuildMinBatch)
+	fmt.Fprintf(&sb, "%-18s %10s %14s %s\n", "knob", "candidate", "ns/op", "")
+	for _, s := range p.Evidence {
+		mark := ""
+		if s.Picked {
+			mark = "<- picked"
+		}
+		fmt.Fprintf(&sb, "%-18s %10s %14d %s\n", s.Knob, s.Value, s.NsPerOp, mark)
+	}
+	return sb.String()
+}
+
+// SaveTuningProfile writes the profile as JSON, atomically.
+func SaveTuningProfile(path string, p *TuningProfile) error {
+	buf, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, append(buf, '\n'))
+}
+
+// LoadTuningProfile reads a profile written by SaveTuningProfile and
+// validates its tuning. Callers decide whether a host mismatch matters
+// (profiles are per-hardware advice, not correctness inputs).
+func LoadTuningProfile(path string) (*TuningProfile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p TuningProfile
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return nil, fmt.Errorf("%s is not a tuning profile: %w", path, err)
+	}
+	if err := p.Tuning.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &p, nil
+}
+
+func intStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}

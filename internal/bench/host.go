@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// HostFingerprint identifies the machine a benchmark run was measured on.
+// Wall-clock numbers from different hosts (or different go toolchains, or
+// different GOMAXPROCS) are not comparable, so every trajectory run
+// carries its fingerprint and the regression comparator refuses to
+// compare across mismatches instead of reporting phantom regressions.
+type HostFingerprint struct {
+	// CPU is the processor model string (from /proc/cpuinfo on linux;
+	// empty when undiscoverable).
+	CPU string `json:"cpu,omitempty"`
+	// Cores is the number of logical CPUs visible to the process.
+	Cores int `json:"cores,omitempty"`
+	// GOMAXPROCS is the worker ceiling the runtime was configured with.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// GoVersion is the toolchain that built the benchmark binary.
+	GoVersion string `json:"goVersion,omitempty"`
+	// OS and Arch are GOOS/GOARCH.
+	OS   string `json:"os,omitempty"`
+	Arch string `json:"arch,omitempty"`
+}
+
+// Fingerprint captures the current host.
+func Fingerprint() HostFingerprint {
+	return HostFingerprint{
+		CPU:        cpuModel(),
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// IsZero reports whether the fingerprint is absent (a legacy run recorded
+// before fingerprints existed).
+func (h HostFingerprint) IsZero() bool { return h == HostFingerprint{} }
+
+// Comparable reports whether wall-clock measurements from h and other can
+// be meaningfully compared: same CPU model, core count, GOMAXPROCS, go
+// toolchain, OS and architecture. A zero fingerprint is comparable to
+// nothing, including another zero fingerprint.
+func (h HostFingerprint) Comparable(other HostFingerprint) bool {
+	if h.IsZero() || other.IsZero() {
+		return false
+	}
+	return h == other
+}
+
+// String renders the fingerprint compactly for log lines and errors.
+func (h HostFingerprint) String() string {
+	if h.IsZero() {
+		return "<no fingerprint>"
+	}
+	cpu := h.CPU
+	if cpu == "" {
+		cpu = "unknown-cpu"
+	}
+	return fmt.Sprintf("%s ×%d (GOMAXPROCS=%d, %s, %s/%s)",
+		cpu, h.Cores, h.GOMAXPROCS, h.GoVersion, h.OS, h.Arch)
+}
+
+// cpuModel extracts the processor model name. Linux-only by inspection of
+// /proc/cpuinfo; other platforms fall back to the empty string (the rest
+// of the fingerprint still distinguishes hosts coarsely).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		// x86 says "model name", arm says "Processor" or per-core
+		// "CPU part"; take the first model-ish key.
+		for _, key := range []string{"model name", "Processor", "cpu model"} {
+			if rest, ok := strings.CutPrefix(line, key); ok {
+				if i := strings.IndexByte(rest, ':'); i >= 0 {
+					return strings.TrimSpace(rest[i+1:])
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -47,6 +47,7 @@ type WALMeasurement struct {
 // point on the BENCH_store.json trajectory.
 type StoreRun struct {
 	Date       string             `json:"date"`
+	Host       HostFingerprint    `json:"host,omitzero"`
 	GoVersion  string             `json:"goVersion"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Quick      bool               `json:"quick"`
@@ -71,12 +72,17 @@ func StoreBench(seed int64, quick bool) (*StoreRun, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	reps := 3
+	// Best-of-7 for the same reason as the kernel sweep: these are sub-ms
+	// file-I/O cells whose single-shot times jitter well past the -compare
+	// gate's threshold on shared disks; the minimum over more repetitions
+	// is the stable statistic (interference only ever adds time).
+	reps := 7
 	if quick {
-		reps = 2
+		reps = 3
 	}
 	run := &StoreRun{
 		Date:       time.Now().UTC().Format(time.RFC3339),
+		Host:       Fingerprint(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,

@@ -1,0 +1,144 @@
+package bench
+
+// Trajectory files: BENCH_kernel.json and BENCH_store.json are
+// append-only JSON documents of the shape {"runs": [run0, run1, ...]},
+// newest last. Appending keeps every existing run as the raw bytes it was
+// committed with — history is never re-marshaled through the current
+// structs, so a field added to KernelRun can never silently rewrite (or
+// drop fields from) runs recorded by older binaries. Writes are atomic
+// (unique temp file + rename), so a crash mid-append can never corrupt
+// the accumulated history.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// rawTrajectory is the generic runs document with each run kept as the
+// exact bytes read from disk.
+type rawTrajectory struct {
+	Runs []json.RawMessage `json:"runs"`
+}
+
+// readTrajectory loads the trajectory at path. A missing file yields an
+// empty trajectory. A legacy single-run document (the pre-trajectory
+// BENCH_kernel.json shape: a JSON object with "rows" at top level and no
+// "runs") is migrated in memory by wrapping it, verbatim, as run 0.
+func readTrajectory(path string) (*rawTrajectory, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &rawTrajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &probe); err != nil {
+		return nil, fmt.Errorf("%s is not a trajectory: %w", path, err)
+	}
+	if runsRaw, ok := probe["runs"]; ok {
+		var runs []json.RawMessage
+		if err := json.Unmarshal(runsRaw, &runs); err != nil {
+			return nil, fmt.Errorf("%s: bad runs array: %w", path, err)
+		}
+		return &rawTrajectory{Runs: runs}, nil
+	}
+	if _, ok := probe["rows"]; ok {
+		// Legacy frozen baseline: the whole document becomes run 0.
+		return &rawTrajectory{Runs: []json.RawMessage{json.RawMessage(buf)}}, nil
+	}
+	return nil, fmt.Errorf("%s is neither a trajectory ({\"runs\": ...}) nor a legacy baseline ({\"rows\": ...})", path)
+}
+
+// AppendRun appends run (marshaled with the current schema) to the
+// trajectory at path, migrating a legacy single-run document by keeping
+// it as run 0, and writes the result atomically. It returns the new run
+// count.
+func AppendRun(path string, run any) (int, error) {
+	doc, err := readTrajectory(path)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := json.Marshal(run)
+	if err != nil {
+		return 0, err
+	}
+	doc.Runs = append(doc.Runs, raw)
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteFileAtomic(path, append(buf, '\n')); err != nil {
+		return 0, err
+	}
+	return len(doc.Runs), nil
+}
+
+// LoadKernelTrajectory reads and types the kernel trajectory at path
+// (legacy single-run documents load as a one-run trajectory).
+func LoadKernelTrajectory(path string) (*KernelTrajectory, error) {
+	doc, err := readTrajectory(path)
+	if err != nil {
+		return nil, err
+	}
+	out := &KernelTrajectory{Runs: make([]KernelRun, len(doc.Runs))}
+	for i, raw := range doc.Runs {
+		if err := json.Unmarshal(raw, &out.Runs[i]); err != nil {
+			return nil, fmt.Errorf("%s: run %d: %w", path, i, err)
+		}
+	}
+	return out, nil
+}
+
+// LoadStoreTrajectory reads and types the persistence trajectory at path.
+func LoadStoreTrajectory(path string) (*StoreBaseline, error) {
+	doc, err := readTrajectory(path)
+	if err != nil {
+		return nil, err
+	}
+	out := &StoreBaseline{Runs: make([]StoreRun, len(doc.Runs))}
+	for i, raw := range doc.Runs {
+		if err := json.Unmarshal(raw, &out.Runs[i]); err != nil {
+			return nil, fmt.Errorf("%s: run %d: %w", path, i, err)
+		}
+	}
+	return out, nil
+}
+
+// WriteFileAtomic writes data to path via a unique temp file in the same
+// directory, fsynced and renamed into place — the same overwrite
+// discipline internal/store uses for snapshots, so a crash mid-write
+// leaves either the old file or the new one, never a truncated hybrid.
+func WriteFileAtomic(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -105,11 +105,15 @@ const (
 )
 
 func (c DynConfig) withDefaults() DynConfig {
+	// Defaults come from the process-wide Tuning (which itself defaults to
+	// DefaultRebuildFraction/DefaultRebuildMinBatch), so an autotuned
+	// profile reshapes the rebuild threshold without touching callers.
+	t := CurrentTuning()
 	if c.RebuildFraction == 0 {
-		c.RebuildFraction = DefaultRebuildFraction
+		c.RebuildFraction = t.RebuildFraction
 	}
 	if c.RebuildMinBatch == 0 {
-		c.RebuildMinBatch = DefaultRebuildMinBatch
+		c.RebuildMinBatch = t.RebuildMinBatch
 	}
 	return c
 }

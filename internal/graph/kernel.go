@@ -15,6 +15,9 @@ import (
 	"sync/atomic"
 )
 
+// The built-in knob defaults, exposed (and overridable per host) through
+// Tuning — every kernel captures the process-wide Tuning at construction,
+// so these constants are only the DefaultTuning values.
 const (
 	// kernelRowMaxN bounds the vertex count for which the kernel builds
 	// word-packed adjacency-row bitmaps (n·⌈n/64⌉ words ≈ n²/8 bytes;
@@ -55,6 +58,11 @@ type kernel struct {
 	rows []uint64
 	rowW int
 
+	// bitsetCut and rootChunk are the process-wide Tuning knobs captured
+	// at construction, so one kernel's behavior never changes mid-life.
+	bitsetCut int
+	rootChunk int
+
 	mu   sync.Mutex
 	free []*kernelArena
 }
@@ -86,7 +94,8 @@ func KernelBuilds() int64 { return kernelBuilds.Load() }
 func newKernel(n int, adjOff []int32, adjHeads []V, orig []V) *kernel {
 	kernelBuilds.Add(1)
 	order, rank := degeneracyCSR(n, adjOff, adjHeads)
-	k := &kernel{n: n}
+	tn := CurrentTuning()
+	k := &kernel{n: n, bitsetCut: tn.BitsetCut, rootChunk: tn.RootChunk}
 	k.orig = make([]V, n)
 	for r := 0; r < n; r++ {
 		if orig == nil {
@@ -136,11 +145,13 @@ func newKernel(n int, adjOff []int32, adjHeads []V, orig []V) *kernel {
 }
 
 // buildRows derives the word-packed adjacency-row bitmaps when the graph
-// is small and dense enough for bitmap probing to pay off. The bitmaps
-// are an acceleration structure, not part of the CSR: snapshot files
-// never store them, and adopting a stored CSR re-derives them here.
+// is small and dense enough for bitmap probing to pay off (thresholds
+// from the process-wide Tuning). The bitmaps are an acceleration
+// structure, not part of the CSR: snapshot files never store them, and
+// adopting a stored CSR re-derives them here.
 func (k *kernel) buildRows() {
-	if k.n <= kernelRowMaxN && k.maxOut >= kernelRowMinOut {
+	tn := CurrentTuning()
+	if k.n <= tn.RowMaxN && k.maxOut >= tn.RowMinOut {
 		k.rowW = (k.n + 63) / 64
 		k.rows = make([]uint64, k.n*k.rowW)
 		for r := 0; r < k.n; r++ {
@@ -158,7 +169,11 @@ func (k *kernel) buildRows() {
 // peel or CSR derivation runs: only the in-memory row bitmaps are
 // rebuilt.
 func kernelFromCSR(n int, off []int32, heads, orig []V, maxOut int, maxID V) *kernel {
-	k := &kernel{n: n, orig: orig, maxID: maxID, off: off, heads: heads, maxOut: maxOut}
+	tn := CurrentTuning()
+	k := &kernel{
+		n: n, orig: orig, maxID: maxID, off: off, heads: heads, maxOut: maxOut,
+		bitsetCut: tn.BitsetCut, rootChunk: tn.RootChunk,
+	}
 	k.buildRows()
 	return k
 }
@@ -279,7 +294,7 @@ func (k *kernel) putArena(a *kernelArena) {
 func (k *kernel) intersectInto(dst, cands []V, w V) []V {
 	out := k.heads[k.off[w]:k.off[w+1]]
 	dst = dst[:0]
-	if k.rows != nil && len(out) > kernelBitsetCut*len(cands) {
+	if k.rows != nil && len(out) > k.bitsetCut*len(cands) {
 		row := k.rows[int(w)*k.rowW : (int(w)+1)*k.rowW]
 		for _, c := range cands {
 			if row[c>>6]&(1<<(uint(c)&63)) != 0 {
@@ -440,6 +455,7 @@ func (k *kernel) count(p, workers int) int64 {
 	if workers == 1 {
 		return k.countRange(0, k.n, p)
 	}
+	chunk := k.rootChunk
 	var total atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -449,11 +465,11 @@ func (k *kernel) count(p, workers int) int64 {
 			defer wg.Done()
 			var sub int64
 			for {
-				lo := int(next.Add(kernelRootChunk)) - kernelRootChunk
+				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= k.n {
 					break
 				}
-				hi := min(lo+kernelRootChunk, k.n)
+				hi := min(lo+chunk, k.n)
 				sub += k.countRange(lo, hi, p)
 			}
 			total.Add(sub)
@@ -557,6 +573,7 @@ func (k *kernel) list(p, workers int) []Clique {
 		k.collectRange(0, k.n, p, a, &collectors[0])
 		k.putArena(a)
 	} else {
+		chunk := k.rootChunk
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -565,11 +582,11 @@ func (k *kernel) list(p, workers int) []Clique {
 				defer wg.Done()
 				a := k.getArena(p)
 				for {
-					lo := int(next.Add(kernelRootChunk)) - kernelRootChunk
+					lo := int(next.Add(int64(chunk))) - chunk
 					if lo >= k.n {
 						break
 					}
-					hi := min(lo+kernelRootChunk, k.n)
+					hi := min(lo+chunk, k.n)
 					k.collectRange(lo, hi, p, a, c)
 				}
 				k.putArena(a)

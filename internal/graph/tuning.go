@@ -1,0 +1,135 @@
+package graph
+
+// Tuning gathers the performance knobs of the enumeration kernel and the
+// incremental clique-delta engine that PR 4/PR 5 landed as hand-picked
+// package constants. Every knob is a pure performance trade-off: the
+// listing output is byte-identical for every legal setting (the
+// differential and metamorphic suites are run under non-default profiles
+// to pin that), so an autotuned per-host profile can be applied without
+// re-validating correctness. The process-wide tuning is read once per
+// kernel construction (and once per DynGraph construction for the rebuild
+// thresholds); changing it never touches already-built kernels.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Tuning is one coherent set of kernel/dynamic-engine knobs. The zero
+// value of any field means "use the built-in default", so partial
+// profiles compose with DefaultTuning. See DESIGN.md §11 for how
+// `benchrunner -autotune` measures these on the current host.
+type Tuning struct {
+	// RowMaxN bounds the vertex count for which the kernel builds
+	// word-packed adjacency-row bitmaps (n·⌈n/64⌉ words ≈ n²/8 bytes).
+	// Beyond it every intersection uses the sorted merge.
+	RowMaxN int `json:"rowMaxN,omitempty"`
+	// RowMinOut is the max-out-degree floor below which row bitmaps are
+	// not worth building: a sorted merge against a tiny list is already a
+	// handful of cache lines.
+	RowMinOut int `json:"rowMinOut,omitempty"`
+	// BitsetCut switches one intersection from sorted merge,
+	// O(|C|+|out(w)|), to bitmap probes, O(|C|): probe when out(w) is
+	// this many times larger than the candidate set.
+	BitsetCut int `json:"bitsetCut,omitempty"`
+	// RootChunk is how many root vertices a parallel worker claims per
+	// fetch-add; coarse enough to keep contention negligible, fine enough
+	// to balance skewed degree distributions.
+	RootChunk int `json:"rootChunk,omitempty"`
+	// RebuildFraction is the incremental engine's density threshold: a
+	// batch whose effective edge-change count exceeds RebuildFraction·M
+	// (and RebuildMinBatch) triggers a full kernel rebuild instead of
+	// frontier patching.
+	RebuildFraction float64 `json:"rebuildFraction,omitempty"`
+	// RebuildMinBatch is the absolute batch-size floor below which a
+	// batch is always applied incrementally.
+	RebuildMinBatch int `json:"rebuildMinBatch,omitempty"`
+}
+
+// DefaultTuning returns the built-in knob settings — the constants the
+// kernel and dynamic engine shipped with, tuned on the original
+// development box.
+func DefaultTuning() Tuning {
+	return Tuning{
+		RowMaxN:         kernelRowMaxN,
+		RowMinOut:       kernelRowMinOut,
+		BitsetCut:       kernelBitsetCut,
+		RootChunk:       kernelRootChunk,
+		RebuildFraction: DefaultRebuildFraction,
+		RebuildMinBatch: DefaultRebuildMinBatch,
+	}
+}
+
+// withDefaults fills zero fields from DefaultTuning and clamps the
+// positive-integer knobs to legal values.
+func (t Tuning) withDefaults() Tuning {
+	d := DefaultTuning()
+	if t.RowMaxN == 0 {
+		t.RowMaxN = d.RowMaxN
+	}
+	if t.RowMinOut == 0 {
+		t.RowMinOut = d.RowMinOut
+	}
+	if t.BitsetCut == 0 {
+		t.BitsetCut = d.BitsetCut
+	}
+	if t.BitsetCut < 1 {
+		t.BitsetCut = 1
+	}
+	if t.RootChunk == 0 {
+		t.RootChunk = d.RootChunk
+	}
+	if t.RootChunk < 1 {
+		t.RootChunk = 1
+	}
+	if t.RebuildFraction == 0 {
+		t.RebuildFraction = d.RebuildFraction
+	}
+	if t.RebuildMinBatch == 0 {
+		t.RebuildMinBatch = d.RebuildMinBatch
+	}
+	return t
+}
+
+// Validate rejects settings that are nonsensical rather than merely slow.
+// Zero fields are legal (they mean "default").
+func (t Tuning) Validate() error {
+	if t.RowMaxN < 0 {
+		return fmt.Errorf("graph: tuning RowMaxN %d < 0", t.RowMaxN)
+	}
+	if t.RowMinOut < 0 {
+		return fmt.Errorf("graph: tuning RowMinOut %d < 0", t.RowMinOut)
+	}
+	if t.BitsetCut < 0 {
+		return fmt.Errorf("graph: tuning BitsetCut %d < 0", t.BitsetCut)
+	}
+	if t.RootChunk < 0 {
+		return fmt.Errorf("graph: tuning RootChunk %d < 0", t.RootChunk)
+	}
+	if t.RebuildMinBatch < 0 {
+		return fmt.Errorf("graph: tuning RebuildMinBatch %d < 0", t.RebuildMinBatch)
+	}
+	return nil
+}
+
+// curTuning holds the process-wide tuning; nil means DefaultTuning.
+var curTuning atomic.Pointer[Tuning]
+
+// SetTuning installs t (zero fields defaulted) as the process-wide tuning
+// for kernels and DynGraphs constructed from now on; existing structures
+// are unaffected. It returns the previous tuning so callers can restore
+// it. SetTuning(Tuning{}) restores the defaults.
+func SetTuning(t Tuning) (prev Tuning) {
+	prev = CurrentTuning()
+	filled := t.withDefaults()
+	curTuning.Store(&filled)
+	return prev
+}
+
+// CurrentTuning returns the process-wide tuning with defaults filled in.
+func CurrentTuning() Tuning {
+	if p := curTuning.Load(); p != nil {
+		return *p
+	}
+	return DefaultTuning()
+}

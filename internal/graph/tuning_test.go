@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The tuning invariant (DESIGN.md §11): every knob is a pure performance
+// trade-off, so the listing output is byte-identical under every legal
+// profile. These tests pin that with differential runs of the kernel and
+// a metamorphic churn run of the incremental engine under profiles chosen
+// to force each alternative code path (bitmaps off, bitmaps everywhere,
+// merge-only, probe-happy, chunk=1, rebuild-always, rebuild-never).
+
+func TestDefaultTuningMatchesConstants(t *testing.T) {
+	d := DefaultTuning()
+	if d.RowMaxN != kernelRowMaxN || d.RowMinOut != kernelRowMinOut ||
+		d.BitsetCut != kernelBitsetCut || d.RootChunk != kernelRootChunk {
+		t.Errorf("kernel defaults drifted from shipped constants: %+v", d)
+	}
+	if d.RebuildFraction != DefaultRebuildFraction || d.RebuildMinBatch != DefaultRebuildMinBatch {
+		t.Errorf("dynamic-engine defaults drifted from shipped constants: %+v", d)
+	}
+}
+
+func TestSetTuningRestoreAndDefaults(t *testing.T) {
+	orig := CurrentTuning()
+	defer SetTuning(orig)
+
+	prev := SetTuning(Tuning{BitsetCut: 5})
+	if prev != orig {
+		t.Errorf("SetTuning returned %+v as prev, want %+v", prev, orig)
+	}
+	got := CurrentTuning()
+	if got.BitsetCut != 5 {
+		t.Errorf("BitsetCut not applied: %+v", got)
+	}
+	// Zero fields fill from defaults, so partial profiles compose.
+	if got.RowMaxN != DefaultTuning().RowMaxN || got.RebuildMinBatch != DefaultTuning().RebuildMinBatch {
+		t.Errorf("zero fields not defaulted: %+v", got)
+	}
+	// SetTuning(Tuning{}) restores the defaults outright.
+	SetTuning(Tuning{})
+	if cur := CurrentTuning(); cur != DefaultTuning() {
+		t.Errorf("SetTuning(Tuning{}) = %+v, want defaults %+v", cur, DefaultTuning())
+	}
+}
+
+func TestTuningValidate(t *testing.T) {
+	good := []Tuning{{}, DefaultTuning(), {BitsetCut: 1, RootChunk: 128}, {RowMinOut: 1 << 30}}
+	for _, tn := range good {
+		if err := tn.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", tn, err)
+		}
+	}
+	bad := []Tuning{{RowMaxN: -1}, {RowMinOut: -2}, {BitsetCut: -1}, {RootChunk: -4}, {RebuildMinBatch: -8}}
+	for _, tn := range bad {
+		if err := tn.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", tn)
+		}
+	}
+}
+
+// extremeProfiles are tunings that force each alternative strategy in the
+// kernel: no row bitmaps at all, bitmaps for every row, never probing
+// (merge only), probing almost always, and pathological chunking.
+func extremeProfiles() map[string]Tuning {
+	return map[string]Tuning{
+		"rows-off":      {RowMaxN: 1, RowMinOut: 1 << 30},
+		"rows-always":   {RowMinOut: 1, BitsetCut: 1},
+		"merge-only":    {BitsetCut: 1 << 30},
+		"chunk-1":       {RootChunk: 1},
+		"chunk-huge":    {RootChunk: 1 << 20},
+		"kitchen-sink":  {RowMinOut: 1, BitsetCut: 1, RootChunk: 1},
+		"rebuild-never": {RebuildFraction: 2.0, RebuildMinBatch: 1 << 30},
+		"rebuild-eager": {RebuildFraction: 1e-9, RebuildMinBatch: 1},
+	}
+}
+
+// TestKernelByteIdenticalUnderTuningProfiles: the same graph listed under
+// every extreme profile must produce exactly the default profile's
+// output, sequentially and in parallel. Fresh graphs are built per
+// profile because kernels capture the tuning at construction.
+func TestKernelByteIdenticalUnderTuningProfiles(t *testing.T) {
+	orig := CurrentTuning()
+	defer SetTuning(orig)
+
+	type family struct {
+		name string
+		mk   func(r *rand.Rand) *Graph
+	}
+	families := []family{
+		{"sparse", func(r *rand.Rand) *Graph { return ErdosRenyi(90, 0.06, r) }},
+		{"dense", func(r *rand.Rand) *Graph { return ErdosRenyi(60, 0.45, r) }},
+		{"planted", func(r *rand.Rand) *Graph {
+			g, _ := PlantedCliques(80, 5, 6, 0.05, r)
+			return g
+		}},
+	}
+	for _, fam := range families {
+		SetTuning(Tuning{})
+		want := map[int][]Clique{}
+		g := fam.mk(rand.New(rand.NewSource(42)))
+		for p := 2; p <= 5; p++ {
+			want[p] = g.ListCliquesWorkers(p, 4)
+		}
+		for name, profile := range extremeProfiles() {
+			SetTuning(profile)
+			fresh := fam.mk(rand.New(rand.NewSource(42)))
+			for p := 2; p <= 5; p++ {
+				for _, workers := range []int{1, 4} {
+					got := fresh.ListCliquesWorkers(p, workers)
+					if len(got) == 0 && len(want[p]) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, want[p]) {
+						t.Fatalf("%s/%s p=%d workers=%d: listing differs from default tuning",
+							fam.name, name, p, workers)
+					}
+				}
+				if got := fresh.CountCliquesWorkers(p, 2); got != int64(len(want[p])) {
+					t.Fatalf("%s/%s p=%d: count %d, want %d", fam.name, name, p, got, len(want[p]))
+				}
+			}
+		}
+	}
+}
+
+// TestDynGraphMetamorphicUnderTuning: the incremental engine must track
+// exactly the from-scratch kernel under the same churn whether the tuning
+// forces every batch down the incremental path or the full-rebuild path.
+func TestDynGraphMetamorphicUnderTuning(t *testing.T) {
+	orig := CurrentTuning()
+	defer SetTuning(orig)
+
+	for name, profile := range map[string]Tuning{
+		"rebuild-never": {RebuildFraction: 2.0, RebuildMinBatch: 1 << 30},
+		"rebuild-eager": {RebuildFraction: 1e-9, RebuildMinBatch: 1},
+	} {
+		SetTuning(profile)
+		rng := rand.New(rand.NewSource(7))
+		d := NewDynGraph(ErdosRenyi(28, 0.3, rng), DynConfig{}, 3, 4)
+		for batch := 0; batch < 12; batch++ {
+			var muts []Mutation
+			for j := 0; j < 8; j++ {
+				u, v := V(rng.Intn(28)), V(rng.Intn(28))
+				if u == v {
+					continue
+				}
+				op := MutAdd
+				if rng.Intn(2) == 0 {
+					op = MutDel
+				}
+				muts = append(muts, Mutation{op, Edge{u, v}.Canon()})
+			}
+			if _, err := d.ApplyBatch(muts); err != nil {
+				t.Fatalf("%s batch %d: %v", name, batch, err)
+			}
+			snap := d.Snapshot()
+			for _, p := range []int{3, 4} {
+				got, _ := d.Cliques(p)
+				want := snap.ListCliquesWorkers(p, 2)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s batch %d p=%d: tracked cliques diverged from rebuild", name, batch, p)
+				}
+			}
+		}
+	}
+}
