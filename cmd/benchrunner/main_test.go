@@ -501,7 +501,8 @@ func TestAutotuneProfileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load profile: %v", err)
 	}
-	if profile.Tuning.RootChunk < 1 || profile.Tuning.BitsetCut < 1 || profile.Tuning.RebuildFraction <= 0 {
+	if profile.Tuning.RootChunk < 1 || profile.Tuning.BitsetCut < 1 || profile.Tuning.RebuildFraction <= 0 ||
+		profile.Tuning.SessionPoolSize < 1 || profile.Tuning.BatchWorkers < 1 {
 		t.Errorf("profile has unmeasured knobs: %+v", profile.Tuning)
 	}
 	// Applying the profile must work end to end (host matches, so no
@@ -528,5 +529,62 @@ func TestStoreBenchRunsWithoutTrajectory(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "appended run") {
 		t.Errorf("no -storebench given but a trajectory was written:\n%s", sb.String())
+	}
+}
+
+// TestClusterTrajectoryAppends runs E14 twice against the same
+// BENCH_cluster.json and checks the trajectory accumulates well-formed
+// runs, with the stream byte counts identical across every (shards,
+// replication) cell — the scatter determinism surfaced as a bench
+// invariant.
+func TestClusterTrajectoryAppends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	for i := 1; i <= 2; i++ {
+		var sb strings.Builder
+		if err := run([]string{"-quick", "-only", "e14", "-clusterbench", path}, &sb); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if !strings.Contains(sb.String(), "==== E14 ====") ||
+			!strings.Contains(sb.String(), "scatter–gather") {
+			t.Errorf("run %d missing E14 table:\n%s", i, sb.String())
+		}
+		if want := fmt.Sprintf("appended run %d to %s", i, path); !strings.Contains(sb.String(), want) {
+			t.Errorf("run %d missing %q:\n%s", i, want, sb.String())
+		}
+	}
+	traj, err := bench.LoadClusterTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 {
+		t.Fatalf("trajectory has %d runs, want 2", len(traj.Runs))
+	}
+	for _, r := range traj.Runs {
+		if r.GoVersion == "" || len(r.Cells) != 5 {
+			t.Fatalf("malformed run: %+v", r)
+		}
+		for _, c := range r.Cells {
+			if c.StreamNs <= 0 || c.ScatterNs <= 0 || c.PatchNsPerBatch <= 0 {
+				t.Errorf("shards=%d repl=%d: non-positive measurement: %+v", c.Shards, c.Replication, c)
+			}
+			if c.StreamBytes != r.Cells[0].StreamBytes {
+				t.Errorf("shards=%d repl=%d: stream bytes %d differ from cell 0's %d — scatter not byte-identical",
+					c.Shards, c.Replication, c.StreamBytes, r.Cells[0].StreamBytes)
+			}
+		}
+	}
+	// -compare on the two-run trajectory must load and render. The huge
+	// threshold keeps this a plumbing test: back-to-back quick runs on a
+	// loaded test machine can legitimately differ by more than the real
+	// gate's 8%.
+	var sb strings.Builder
+	if err := run([]string{"-compare", "-threshold", "10", "-clusterbench", path}, &sb); err != nil {
+		t.Fatalf("compare: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkClusterScatter/") {
+		t.Errorf("compare missing cluster benchfmt:\n%s", sb.String())
 	}
 }

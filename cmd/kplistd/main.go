@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kplist"
+	"kplist/internal/cluster"
 	"kplist/internal/server"
 )
 
@@ -59,9 +60,40 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 		verify      = fs.Bool("verify", false, "cross-check every fresh result against sequential ground truth")
 		dataDir     = fs.String("data-dir", "", "directory for durable graph state (snapshots + WALs); empty = in-memory only")
 		noSync      = fs.Bool("no-fsync", false, "skip the per-batch WAL fsync (faster, loses acknowledged batches on crash)")
+		clusterSelf = fs.String("cluster-self", "", "this node's member name in -cluster-peers (enables cluster mode)")
+		clusterPeer = fs.String("cluster-peers", "", "cluster membership: @file.json, or inline name=addr,name=addr,...")
+		clusterRepl = fs.Int("cluster-replication", 0, "replicas per graph including the owner (0 = config default 2)")
+		clusterVN   = fs.Int("cluster-vnodes", 0, "virtual nodes per member on the hash ring (0 = config default 64)")
+		clusterSeed = fs.Int64("cluster-seed", 0, "hash-ring seed (must match the gateway's)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var ring *cluster.Ring
+	if *clusterSelf != "" || *clusterPeer != "" {
+		if *clusterSelf == "" || *clusterPeer == "" {
+			return errors.New("cluster mode needs both -cluster-self and -cluster-peers")
+		}
+		ccfg, err := cluster.ParseConfig(*clusterPeer)
+		if err != nil {
+			return err
+		}
+		if *clusterRepl > 0 {
+			ccfg.Replication = *clusterRepl
+		}
+		if *clusterVN > 0 {
+			ccfg.VNodes = *clusterVN
+		}
+		if *clusterSeed != 0 {
+			ccfg.Seed = *clusterSeed
+		}
+		if _, ok := ccfg.MemberNamed(*clusterSelf); !ok {
+			return fmt.Errorf("-cluster-self %q is not a member of -cluster-peers", *clusterSelf)
+		}
+		ring, err = cluster.NewRing(ccfg)
+		if err != nil {
+			return err
+		}
 	}
 	cfg := server.Config{
 		MaxGraphs:       *maxGraphs,
@@ -74,8 +106,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 			MaxConcurrent: *sessConc,
 			Verify:        *verify,
 		},
-		DataDir: *dataDir,
-		Store:   kplist.StoreConfig{NoSync: *noSync},
+		DataDir:     *dataDir,
+		Store:       kplist.StoreConfig{NoSync: *noSync},
+		ClusterSelf: *clusterSelf,
+		ClusterRing: ring,
 	}
 	srv, err := server.Open(cfg)
 	if err != nil {
@@ -95,6 +129,10 @@ func run(ctx context.Context, args []string, logw io.Writer, ready chan<- net.Ad
 	}
 	fmt.Fprintf(logw, "kplistd listening on %s (pool=%d graphs=%d queue=%d deadline=%s)\n",
 		ln.Addr(), *poolSize, *maxGraphs, *queue, *deadline)
+	if ring != nil {
+		fmt.Fprintf(logw, "kplistd: cluster mode as %q (%d members, replication=%d, vnodes=%d)\n",
+			*clusterSelf, len(ring.Members()), ring.Replication(), ring.Config().VNodes)
+	}
 	if ready != nil {
 		ready <- ln.Addr()
 	}

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"kplist/internal/cluster"
+	"kplist/internal/server"
+)
+
+// TestMain doubles as a cluster-mode node daemon: when re-executed with
+// KPLISTGW_NODE_CHILD=1 the test binary runs a real kplistd-equivalent
+// process (server.Open in cluster mode over a data dir), so the failover
+// test can SIGKILL an actual owner process rather than close an
+// in-process listener.
+func TestMain(m *testing.M) {
+	if os.Getenv("KPLISTGW_NODE_CHILD") == "1" {
+		if err := nodeChild(); err != nil {
+			fmt.Fprintln(os.Stderr, "kplistgw node child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func nodeChild() error {
+	cfg, err := cluster.ParseConfig(os.Getenv("KPLISTGW_NODE_PEERS"))
+	if err != nil {
+		return err
+	}
+	ring, err := cluster.NewRing(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.Open(server.Config{
+		DefaultDeadline: time.Minute,
+		ClusterSelf:     os.Getenv("KPLISTGW_NODE_SELF"),
+		ClusterRing:     ring,
+		DataDir:         os.Getenv("KPLISTGW_NODE_DIR"),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kplistnode listening on %s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// spawnNode re-execs the test binary as cluster node `self` and returns
+// the process plus its base URL once it is listening. peersSpec only
+// needs the member names to be right — node-side placement hashes names,
+// never addresses.
+func spawnNode(t *testing.T, self, peersSpec, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"KPLISTGW_NODE_CHILD=1",
+		"KPLISTGW_NODE_SELF="+self,
+		"KPLISTGW_NODE_PEERS="+peersSpec,
+		"KPLISTGW_NODE_DIR="+dir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "kplistnode listening on "); ok {
+				addrc <- strings.Fields(rest)[0]
+			}
+			// Keep draining so the child never blocks on a full pipe.
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatalf("node %s never reported its listen address", self)
+		return nil, ""
+	}
+}
+
+// startGateway runs the gateway daemon loop in-process on :0 and returns
+// its base URL plus the error channel the loop reports on at shutdown.
+func startGateway(t *testing.T, ctx context.Context, args []string) (string, <-chan error) {
+	t.Helper()
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, io.Discard, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), errc
+	case err := <-errc:
+		t.Fatalf("gateway exited before listening: %v", err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway never reported its listen address")
+	}
+	return "", nil
+}
+
+func doJSON(method, url string, body any) (*http.Response, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, nil, err
+	}
+	return resp, out, nil
+}
+
+// failoverWorkload is the deterministic register body + mutation batches
+// shared by the cluster under kill and the never-killed replay.
+func failoverWorkload() (map[string]any, []map[string]any) {
+	const n = 80
+	rng := rand.New(rand.NewSource(43))
+	var edges [][2]int32
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.08 {
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+	}
+	reg := map[string]any{"name": "failover", "n": n, "edges": edges}
+	batches := make([]map[string]any, 120)
+	for i := range batches {
+		muts := make([]map[string]any, 16)
+		for j := range muts {
+			op := "add"
+			if rng.Intn(2) == 0 {
+				op = "remove"
+			}
+			u := rng.Intn(n)
+			v := rng.Intn(n - 1)
+			if v >= u {
+				v++
+			}
+			muts[j] = map[string]any{"op": op, "u": u, "v": v}
+		}
+		batches[i] = map[string]any{"mutations": muts}
+	}
+	return reg, batches
+}
+
+func cliqueStream(t *testing.T, base, id string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/graphs/" + id + "/cliques?p=3&algo=truth&order=lex&stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestGatewayRunLifecycle checks the daemon surface: flag validation,
+// ready reporting on -addr :0, /metrics and /healthz serving, graceful
+// shutdown on context cancel.
+func TestGatewayRunLifecycle(t *testing.T) {
+	if err := run(context.Background(), nil, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "-peers is required") {
+		t.Fatalf("missing -peers should fail, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-peers", "bad name=x"}, io.Discard, nil); err == nil {
+		t.Fatal("malformed peers spec should fail")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// 127.0.0.1:9 (discard) refuses connections, so the member probes down.
+	base, errc := startGateway(t, ctx, []string{
+		"-addr", "127.0.0.1:0", "-peers", "n1=127.0.0.1:9", "-probe-interval", "50ms"})
+
+	resp, body, err := doJSON(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "kplistgw_ring_members 1") {
+		t.Fatalf("metrics: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body, err = doJSON(http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), `"down"`) {
+		t.Fatalf("healthz with dead member: status %d body %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway never shut down after cancel")
+	}
+}
+
+// TestGatewayFailoverSIGKILL is the acceptance crash test: three real
+// node processes (R=2) behind the gateway daemon, the graph's owner is
+// SIGKILLed mid-load, and the cluster must lose zero acknowledged PATCH
+// batches — the replica's stream must byte-equal a never-killed replay of
+// some prefix j with acked ≤ j ≤ attempted — while reads keep succeeding.
+func TestGatewayFailoverSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	names := []string{"n1", "n2", "n3"}
+	// Node-side spec: placeholder addresses, real names. Nodes only gate
+	// by ring ownership, which hashes names.
+	placeholder := "n1=127.0.0.1:1,n2=127.0.0.1:1,n3=127.0.0.1:1"
+	cmds := make(map[string]*exec.Cmd, len(names))
+	addrs := make(map[string]string, len(names))
+	for _, name := range names {
+		cmd, base := spawnNode(t, name, placeholder, t.TempDir())
+		cmds[name], addrs[name] = cmd, base
+	}
+	peers := make([]string, len(names))
+	for i, name := range names {
+		peers[i] = name + "=" + addrs[name]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base, _ := startGateway(t, ctx, []string{
+		"-addr", "127.0.0.1:0",
+		"-peers", strings.Join(peers, ","),
+		"-replication", "2",
+		"-probe-interval", "200ms",
+		"-retry-backoff", "5ms"})
+
+	reg, batches := failoverWorkload()
+	resp, body, err := doJSON(http.MethodPost, base+"/v1/graphs", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d body %s", resp.StatusCode, body)
+	}
+	var info struct {
+		ID       string   `json:"id"`
+		Owner    string   `json:"owner"`
+		Replicas []string `json:"replicas"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	// replicas lists the R−1 non-owner members.
+	if info.Owner == "" || len(info.Replicas) != 1 {
+		t.Fatalf("gateway meta lacks placement: %s", body)
+	}
+
+	// Stream batches through the gateway and SIGKILL the owner process
+	// once enough are acknowledged — the kill lands while later batches
+	// are in flight, so some will be refused (writes never fail over).
+	acked, attempted := 0, 0
+	for _, b := range batches {
+		attempted++
+		resp, body, err := doJSON(http.MethodPatch, base+"/v1/graphs/"+info.ID+"/edges", b)
+		if err != nil {
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			if acked < 25 {
+				t.Fatalf("patch %d: status %d body %s", attempted, resp.StatusCode, body)
+			}
+			break // owner is gone; the gateway correctly refuses the write
+		}
+		acked++
+		if acked == 25 {
+			go func() { _ = cmds[info.Owner].Process.Kill() }()
+		}
+	}
+	_, _ = cmds[info.Owner].Process.Wait()
+	if acked < 25 {
+		t.Fatalf("only %d batches acknowledged before failure", acked)
+	}
+
+	// Reads keep succeeding through the gateway via the replica.
+	status, got := cliqueStream(t, base, info.ID)
+	if status != http.StatusOK {
+		t.Fatalf("read after owner kill: status %d", status)
+	}
+	if got == "" {
+		t.Fatal("empty stream after failover — comparison is vacuous")
+	}
+
+	// Never-killed replays: a standalone in-process server fed the same
+	// register body and the first j batches. The replica must serve
+	// exactly one prefix in [acked, attempted]: every acknowledged batch
+	// was fanned out before the gateway acked, and no partial batch can
+	// exist — batches are atomic.
+	replay := func(j int) string {
+		t.Helper()
+		s, err := server.Open(server.Config{DefaultDeadline: time.Minute})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		resp, body, err := doJSON(http.MethodPost, ts.URL+"/v1/graphs", reg)
+		if err != nil || resp.StatusCode != http.StatusCreated {
+			t.Fatalf("replay register: %v status %v %s", err, resp, body)
+		}
+		var ri struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &ri); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < j; i++ {
+			resp, body, err := doJSON(http.MethodPatch, ts.URL+"/v1/graphs/"+ri.ID+"/edges", batches[i])
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("replay patch %d: %v status %v %s", i, err, resp, body)
+			}
+		}
+		_, stream := cliqueStream(t, ts.URL, ri.ID)
+		return stream
+	}
+	matched := -1
+	for j := acked; j <= attempted && j <= len(batches); j++ {
+		if replay(j) == got {
+			matched = j
+			break
+		}
+	}
+	if matched < 0 {
+		t.Fatalf("failover stream matches no batch prefix in [%d, %d] — acknowledged writes were lost",
+			acked, attempted)
+	}
+	t.Logf("killed owner %s after acking %d/%d sent batches; replica state = prefix %d",
+		info.Owner, acked, attempted, matched)
+
+	// The gateway's health view reflects the dead member, and writes to
+	// the dead owner's graphs are refused rather than silently dropped.
+	resp, body, err = doJSON(http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), info.Owner) {
+		t.Fatalf("healthz after kill: status %d body %s", resp.StatusCode, body)
+	}
+	resp, _, err = doJSON(http.MethodPatch, base+"/v1/graphs/"+info.ID+"/edges", batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("write with dead owner answered %d, want 502", resp.StatusCode)
+	}
+}

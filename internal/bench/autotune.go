@@ -18,8 +18,14 @@ package bench
 //   - rebuildFraction / rebuildMinBatch: a seeded mutation-churn schedule
 //     applied through DynGraph across threshold settings (incremental
 //     patch vs full-rebuild crossover).
+//   - sessionPoolSize: a locality-heavy graph-access trace replayed
+//     through the serving layer's session pool across capacities
+//     (resident preprocessed kernels vs re-peeling on miss).
+//   - batchWorkers: a coalescing-heavy QueryBatch replayed across worker
+//     floors (waiter scheduling vs goroutine overhead).
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -27,7 +33,9 @@ import (
 	"strings"
 	"time"
 
+	"kplist"
 	"kplist/internal/graph"
+	"kplist/internal/server"
 )
 
 // AutotuneSample is one measured candidate of one knob.
@@ -165,8 +173,88 @@ func Autotune(seed int64, quick bool) *TuningProfile {
 		func(t *graph.Tuning, i int) { t.RebuildMinBatch = minBatches[i] },
 		churnNs)
 
+	// 5. Serving-layer knobs (PR 8): the session-pool capacity under a
+	// working set wider than any candidate, and the QueryBatch worker
+	// floor. Both are read from the process-wide tuning at use time, so
+	// the sweep machinery applies candidates exactly like the kernel knobs.
+	poolGraphs := make([]*graph.Graph, 12)
+	for i := range poolGraphs {
+		g, _ := graph.PlantedCliques(plantedN/2, 4, 6, 0.04, rng(int64(10+i)))
+		poolGraphs[i] = g
+	}
+	poolTrace := poolAccessTrace(len(poolGraphs), 180, rng(22))
+	poolNs := func() time.Duration {
+		return bestOf(reps, func() error {
+			// Capacity 0 defers to the candidate tuning under test.
+			pool := server.NewSessionPool(0, kplist.SessionConfig{MaxConcurrent: 2})
+			defer func() {
+				for i := range poolGraphs {
+					pool.Invalidate(fmt.Sprintf("g%d", i))
+				}
+			}()
+			for _, gi := range poolTrace {
+				gi := gi
+				sess, release, err := pool.Acquire(context.Background(), fmt.Sprintf("g%d", gi),
+					func() *kplist.Graph { return poolGraphs[gi] })
+				if err != nil {
+					return err
+				}
+				_, err = sess.Query(kplist.Query{P: 3})
+				release()
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	poolSizes := []int{2, 4, 8, 16}
+	sweep("sessionPoolSize", intStrings(poolSizes),
+		func(t *graph.Tuning, i int) { t.SessionPoolSize = poolSizes[i] },
+		poolNs)
+
+	batchG := graph.ErdosRenyi(denseN/2, 0.3, rng(30))
+	batch := make([]kplist.Query, 96)
+	for i := range batch {
+		// 24 distinct cache keys duplicated 4×, so coalesced waiters are
+		// part of what the worker floor schedules.
+		batch[i] = kplist.Query{P: 3 + i%2, Seed: int64(i % 12)}
+	}
+	batchNs := func() time.Duration {
+		return bestOf(reps, func() error {
+			// A fresh session per rep: the keyed result cache would
+			// otherwise serve later candidates for free.
+			sess := kplist.NewSession(batchG, kplist.SessionConfig{MaxConcurrent: 2})
+			defer sess.Close()
+			for _, r := range sess.QueryBatch(batch) {
+				if r.Err != nil {
+					return r.Err
+				}
+			}
+			return nil
+		})
+	}
+	batchWorkers := []int{2, 4, 8, 16, 32}
+	sweep("batchWorkers", intStrings(batchWorkers),
+		func(t *graph.Tuning, i int) { t.BatchWorkers = batchWorkers[i] },
+		batchNs)
+
 	profile.Tuning = picked
 	return profile
+}
+
+// poolAccessTrace is a deterministic graph-access sequence with temporal
+// locality: mostly revisits of a drifting working set, occasionally a
+// cold graph, so every candidate pool capacity sees both hits and misses.
+func poolAccessTrace(graphs, accesses int, rng *rand.Rand) []int {
+	zipf := rand.NewZipf(rng, 1.4, 1.0, uint64(graphs-1))
+	trace := make([]int, accesses)
+	for i := range trace {
+		// The rotating offset drifts the hot set so small pools keep
+		// evicting while large ones keep hitting.
+		trace[i] = (int(zipf.Uint64()) + i/24) % graphs
+	}
+	return trace
 }
 
 // churnSchedule builds a deterministic mutation schedule: batches of
@@ -200,8 +288,8 @@ func (p *TuningProfile) Table() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "# autotune (%s, quick=%v, seed=%d)\n", p.Host, p.Quick, p.Seed)
 	t := p.Tuning
-	fmt.Fprintf(&sb, "picked: rootChunk=%d bitsetCut=%d rowMinOut=%d rowMaxN=%d rebuildFraction=%.2f rebuildMinBatch=%d\n",
-		t.RootChunk, t.BitsetCut, t.RowMinOut, t.RowMaxN, t.RebuildFraction, t.RebuildMinBatch)
+	fmt.Fprintf(&sb, "picked: rootChunk=%d bitsetCut=%d rowMinOut=%d rowMaxN=%d rebuildFraction=%.2f rebuildMinBatch=%d sessionPoolSize=%d batchWorkers=%d\n",
+		t.RootChunk, t.BitsetCut, t.RowMinOut, t.RowMaxN, t.RebuildFraction, t.RebuildMinBatch, t.SessionPoolSize, t.BatchWorkers)
 	fmt.Fprintf(&sb, "%-18s %10s %14s %s\n", "knob", "candidate", "ns/op", "")
 	for _, s := range p.Evidence {
 		mark := ""

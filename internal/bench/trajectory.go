@@ -107,6 +107,21 @@ func LoadStoreTrajectory(path string) (*StoreBaseline, error) {
 	return out, nil
 }
 
+// LoadClusterTrajectory reads and types the cluster trajectory at path.
+func LoadClusterTrajectory(path string) (*ClusterBaseline, error) {
+	doc, err := readTrajectory(path)
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterBaseline{Runs: make([]ClusterRun, len(doc.Runs))}
+	for i, raw := range doc.Runs {
+		if err := json.Unmarshal(raw, &out.Runs[i]); err != nil {
+			return nil, fmt.Errorf("%s: run %d: %w", path, i, err)
+		}
+	}
+	return out, nil
+}
+
 // WriteFileAtomic writes data to path via a unique temp file in the same
 // directory, fsynced and renamed into place — the same overwrite
 // discipline internal/store uses for snapshots, so a crash mid-write

@@ -1,0 +1,164 @@
+// Package cluster turns N kplistd processes into one service: a
+// deterministic consistent-hash ring (virtual nodes, seeded) maps graph
+// IDs to an owner plus R−1 replicas, an embeddable Client routes and
+// fails over requests, and the kplistgw gateway daemon fronts the whole
+// membership with scatter–gather listing for partitioned graphs. The
+// membership is static — a -cluster-peers flag or JSON file — so no
+// consensus dependency is needed: the ring is a pure function of the
+// config, and every process that loads the same config computes the same
+// placement. See DESIGN.md §12.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// Member is one kplistd process in the cluster.
+type Member struct {
+	// Name is the stable identity the ring hashes. It must match the
+	// member's own -cluster-self flag; placement depends on names only,
+	// never on addresses, so nodes and gateways agree on ownership even
+	// when they reach a member through different addresses.
+	Name string `json:"name"`
+	// Addr is the member's base URL (http://host:port). A bare host:port
+	// is normalized to http://.
+	Addr string `json:"addr"`
+}
+
+// Config is the static cluster membership plus placement parameters.
+// Every field that feeds the ring (Members' names, VNodes, Seed) must be
+// identical across all nodes and gateways of one cluster.
+type Config struct {
+	Members []Member `json:"members"`
+	// Replication is R: every graph lives on its ring owner plus R−1
+	// distinct successor replicas. Default 2, clamped to len(Members).
+	Replication int `json:"replication,omitempty"`
+	// VNodes is the virtual-node count per member (default 64): more
+	// vnodes smooth the key distribution at the cost of a larger ring.
+	VNodes int `json:"vnodes,omitempty"`
+	// Seed perturbs the ring hash so operators can re-deal placement
+	// without renaming members. Default 0.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// memberName enforces the same identifier charset graph IDs use, so
+// shard-graph IDs derived from member names stay valid path segments.
+var memberName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ParseConfig parses a -cluster-peers specification: either "@path" (or a
+// bare path ending in .json) naming a JSON Config file, or an inline
+// comma-separated list "name=addr,name=addr,...". Inline entries without
+// a name get generated names n1, n2, ... in list order.
+func ParseConfig(spec string) (Config, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Config{}, errors.New("cluster: empty peers specification")
+	}
+	if path, ok := strings.CutPrefix(spec, "@"); ok || strings.HasSuffix(spec, ".json") {
+		if !ok {
+			path = spec
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return Config{}, fmt.Errorf("cluster: reading peers file: %w", err)
+		}
+		var cfg Config
+		if err := json.Unmarshal(buf, &cfg); err != nil {
+			return Config{}, fmt.Errorf("cluster: %s is not a membership config: %w", path, err)
+		}
+		return cfg, cfg.Validate()
+	}
+	var cfg Config
+	for i, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr, found := strings.Cut(entry, "=")
+		if !found {
+			name, addr = fmt.Sprintf("n%d", i+1), entry
+		}
+		cfg.Members = append(cfg.Members, Member{Name: name, Addr: addr})
+	}
+	return cfg, cfg.Validate()
+}
+
+// WithDefaults returns the config with Replication/VNodes defaulted and
+// clamped and member addresses normalized to URLs.
+func (c Config) WithDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.Replication > len(c.Members) {
+		c.Replication = len(c.Members)
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	// Copy before normalizing: callers share Config values (several rings
+	// are built from one membership), so the input slice stays untouched.
+	ms := make([]Member, len(c.Members))
+	copy(ms, c.Members)
+	for i, m := range ms {
+		ms[i].Addr = normalizeAddr(m.Addr)
+	}
+	c.Members = ms
+	return c
+}
+
+// Validate rejects configs the ring cannot be built from: no members,
+// duplicate or malformed names, empty addresses.
+func (c Config) Validate() error {
+	if len(c.Members) == 0 {
+		return errors.New("cluster: membership has no members")
+	}
+	seen := make(map[string]bool, len(c.Members))
+	for _, m := range c.Members {
+		if !memberName.MatchString(m.Name) {
+			return fmt.Errorf("cluster: bad member name %q (want %s)", m.Name, memberName)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("cluster: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if strings.TrimSpace(m.Addr) == "" {
+			return fmt.Errorf("cluster: member %q has no address", m.Name)
+		}
+	}
+	if c.Replication < 0 {
+		return fmt.Errorf("cluster: replication %d < 0", c.Replication)
+	}
+	if c.VNodes < 0 {
+		return fmt.Errorf("cluster: vnodes %d < 0", c.VNodes)
+	}
+	return nil
+}
+
+// MemberNamed returns the member carrying name.
+func (c Config) MemberNamed(name string) (Member, bool) {
+	for _, m := range c.Members {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// normalizeAddr turns host:port into http://host:port and strips a
+// trailing slash; full URLs pass through.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if addr == "" {
+		return addr
+	}
+	if u, err := url.Parse(addr); err == nil && u.Scheme != "" && u.Host != "" {
+		return addr
+	}
+	return "http://" + addr
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBounds are the per-member latency histogram bucket upper bounds
+// in seconds (the same ladder kplistd's /metrics uses, so dashboards can
+// overlay gateway and node latency).
+var latencyBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+type histogram struct {
+	buckets []int64
+	sum     float64
+	count   int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(sec float64) {
+	i := sort.SearchFloat64s(latencyBounds, sec)
+	h.buckets[i]++
+	h.sum += sec
+	h.count++
+}
+
+// memberStats accumulates one member's request outcomes as seen from the
+// gateway: the per-shard half of the observability story.
+type memberStats struct {
+	requests map[int]int64 // status class ("0" = transport error) → count
+	latency  *histogram
+}
+
+// Metrics is the gateway-side observability store: per-member request /
+// error / latency, replication fan-out outcomes, failover and
+// scatter–gather counters. Rendered on the gateway's /metrics in the
+// Prometheus text exposition format (hand-rolled, like kplistd's).
+type Metrics struct {
+	started time.Time
+
+	mu      sync.Mutex
+	members map[string]*memberStats
+
+	failoverReads   int64 // reads answered by a non-owner replica
+	retries         int64 // candidate attempts beyond the first
+	replicaAcks     int64 // successful replica fan-out applies
+	replicaFailures int64 // failed replica fan-out applies (the lag counter)
+	scatterRequests int64 // scatter–gather listings served
+	scatterLines    int64 // merged NDJSON lines across all scatters
+	misdirected     int64 // requests refused because no candidate answered
+}
+
+// NewMetrics returns an empty metrics store.
+func NewMetrics() *Metrics {
+	return &Metrics{started: time.Now(), members: make(map[string]*memberStats)}
+}
+
+// record accounts one forwarded request to member; status 0 means the
+// transport failed before any response.
+func (m *Metrics) record(member string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ms, ok := m.members[member]
+	if !ok {
+		ms = &memberStats{requests: make(map[int]int64), latency: newHistogram()}
+		m.members[member] = ms
+	}
+	ms.requests[status]++
+	ms.latency.observe(elapsed.Seconds())
+}
+
+func (m *Metrics) addFailoverRead()  { m.mu.Lock(); m.failoverReads++; m.mu.Unlock() }
+func (m *Metrics) addRetry()         { m.mu.Lock(); m.retries++; m.mu.Unlock() }
+func (m *Metrics) addReplicaAck()    { m.mu.Lock(); m.replicaAcks++; m.mu.Unlock() }
+func (m *Metrics) addReplicaFailed() { m.mu.Lock(); m.replicaFailures++; m.mu.Unlock() }
+func (m *Metrics) addMisdirected()   { m.mu.Lock(); m.misdirected++; m.mu.Unlock() }
+
+func (m *Metrics) addScatter(lines int64) {
+	m.mu.Lock()
+	m.scatterRequests++
+	m.scatterLines += lines
+	m.mu.Unlock()
+}
+
+// ReplicationLag returns the cumulative count of replica applies the
+// gateway could not deliver — acknowledged writes a replica is missing
+// until its owner's WAL is re-replicated (DESIGN.md §12 failure modes).
+func (m *Metrics) ReplicationLag() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replicaFailures
+}
+
+// Render writes the Prometheus text exposition. gauges carries sampled
+// cluster state (member up/down, ring size) keyed by fully-formed metric
+// lines; they are emitted sorted.
+func (m *Metrics) Render(w *strings.Builder, gauges map[string]float64) {
+	fmt.Fprintf(w, "# TYPE kplistgw_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "kplistgw_uptime_seconds %.3f\n", time.Since(m.started).Seconds())
+
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		// name may carry labels ("x{member=\"n1\"}"); the TYPE line wants
+		// the bare family name.
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", family, name, gauges[name])
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	members := make([]string, 0, len(m.members))
+	for name := range m.members {
+		members = append(members, name)
+	}
+	sort.Strings(members)
+
+	fmt.Fprintf(w, "# TYPE kplistgw_member_requests_total counter\n")
+	for _, name := range members {
+		statuses := make([]int, 0, len(m.members[name].requests))
+		for st := range m.members[name].requests {
+			statuses = append(statuses, st)
+		}
+		sort.Ints(statuses)
+		for _, st := range statuses {
+			label := fmt.Sprintf("%d", st)
+			if st == 0 {
+				label = "error"
+			}
+			fmt.Fprintf(w, "kplistgw_member_requests_total{member=%q,status=%q} %d\n",
+				name, label, m.members[name].requests[st])
+		}
+	}
+	fmt.Fprintf(w, "# TYPE kplistgw_member_request_duration_seconds histogram\n")
+	for _, name := range members {
+		h := m.members[name].latency
+		var cum int64
+		for i, bound := range latencyBounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "kplistgw_member_request_duration_seconds_bucket{member=%q,le=\"%g\"} %d\n",
+				name, bound, cum)
+		}
+		cum += h.buckets[len(latencyBounds)]
+		fmt.Fprintf(w, "kplistgw_member_request_duration_seconds_bucket{member=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "kplistgw_member_request_duration_seconds_sum{member=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "kplistgw_member_request_duration_seconds_count{member=%q} %d\n", name, h.count)
+	}
+
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"kplistgw_failover_reads_total", m.failoverReads},
+		{"kplistgw_retries_total", m.retries},
+		{"kplistgw_replica_acks_total", m.replicaAcks},
+		{"kplistgw_replication_lag_batches", m.replicaFailures},
+		{"kplistgw_scatter_requests_total", m.scatterRequests},
+		{"kplistgw_scatter_merged_lines_total", m.scatterLines},
+		{"kplistgw_unroutable_total", m.misdirected},
+	} {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+	}
+}

@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"kplist"
+	"kplist/internal/partition"
+)
+
+// Partitioned graphs (POST /v1/graphs?partitioned=1&p=<p>) split one
+// logical graph's edges across all shards instead of replicating it
+// whole. Registration fixes the clique size p; vertices are assigned to
+// T = len(members) parts by the paper's random partition (Lemma 2.7,
+// seeded, so re-registration reproduces it); each possible clique
+// "signature" — the sorted multiset of its vertices' parts — is owned by
+// the ring member that owns the key id+"/tuple/"+sig. A member's shard
+// subgraph carries exactly the edges whose part pair occurs inside at
+// least one of its signatures, so every clique with an owned signature is
+// fully present on its owner. Listing scatters to all shards, filters
+// each shard's (lexicographically sorted) stream down to the cliques
+// whose signature that shard owns — making the shard outputs disjoint —
+// and k-way-merges them, which reproduces the single-node NDJSON stream
+// byte for byte. See DESIGN.md §12.
+//
+// ErrPartitionMismatch reports a listing query whose p differs from the
+// p the partitioned graph was registered with.
+var ErrPartitionMismatch = errors.New("cluster: query p differs from the partitioned registration")
+
+// ErrPartitionedMutation reports a PATCH / POST query against a
+// partitioned graph; only listing is supported in partitioned mode.
+var ErrPartitionedMutation = errors.New("cluster: partitioned graphs are immutable (listing only)")
+
+// pgraph is the gateway-side state of one partitioned graph.
+type pgraph struct {
+	id     string
+	name   string
+	family string
+	p      int // clique size fixed at registration
+	n, m   int
+	parts  int     // T = number of members at registration
+	partOf []int32 // vertex → part
+	// sigOwner maps a signature key to the member name owning it.
+	sigOwner map[string]string
+	// shardID maps a member name to its shard graph's cluster-wide ID.
+	shardID map[string]string
+	// shardM maps a member name to its shard subgraph's edge count.
+	shardM map[string]int
+}
+
+func (c *Client) partitionedGraph(id string) *pgraph {
+	c.pgMu.RLock()
+	defer c.pgMu.RUnlock()
+	return c.pgraphs[id]
+}
+
+// PartitionedMeta returns the cluster-level metadata for a partitioned
+// graph, or false when id is not a partitioned graph.
+func (c *Client) PartitionedMeta(id string) (GraphMeta, bool) {
+	pg := c.partitionedGraph(id)
+	if pg == nil {
+		return GraphMeta{}, false
+	}
+	return pg.meta(), true
+}
+
+// PartitionedIDs lists the registered partitioned graph IDs, sorted.
+func (c *Client) PartitionedIDs() []string {
+	c.pgMu.RLock()
+	defer c.pgMu.RUnlock()
+	ids := make([]string, 0, len(c.pgraphs))
+	for id := range c.pgraphs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (pg *pgraph) meta() GraphMeta {
+	return GraphMeta{
+		ID: pg.id, Name: pg.name, N: pg.n, M: pg.m, Family: pg.family,
+		Partitioned: true, Shards: len(pg.shardID), P: pg.p, Parts: pg.parts,
+	}
+}
+
+// ShardIDSuffix marks shard graph IDs ("<cluster id>.s.<member>"). The
+// gateway hides graphs carrying it from cluster-level listings.
+const ShardIDSuffix = ".s."
+
+// sigKey renders a sorted part multiset as "a.b.c".
+func sigKey(sig []int) string {
+	var b []byte
+	for i, s := range sig {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendInt(b, int64(s), 10)
+	}
+	return string(b)
+}
+
+// signatures enumerates every sorted p-multiset over parts [0,t) — the
+// possible clique signatures, C(t+p−1, p) of them.
+func signatures(t, p int) [][]int {
+	var out [][]int
+	sig := make([]int, p)
+	var rec func(pos, lo int)
+	rec = func(pos, lo int) {
+		if pos == p {
+			out = append(out, append([]int(nil), sig...))
+			return
+		}
+		for part := lo; part < t; part++ {
+			sig[pos] = part
+			rec(pos+1, part)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// registerWire mirrors kplistd's register request body (plus the cluster
+// ID extension) without importing internal/server.
+type registerWire struct {
+	ID       string               `json:"id,omitempty"`
+	Name     string               `json:"name,omitempty"`
+	N        int                  `json:"n,omitempty"`
+	Edges    [][2]int32           `json:"edges,omitempty"`
+	Workload *kplist.WorkloadSpec `json:"workload,omitempty"`
+}
+
+// RegisterPartitioned registers body as a partitioned graph with clique
+// size p: it materializes the edges (generating the workload locally when
+// the body carries a spec), partitions the vertices, assigns signatures
+// to members through the ring, and registers each member's shard subgraph
+// on that member (replicated to its ring successors).
+func (c *Client) RegisterPartitioned(ctx context.Context, body []byte, p int) (GraphMeta, error) {
+	if p < 2 {
+		return GraphMeta{}, fmt.Errorf("cluster: partitioned registration needs p >= 2, got %d", p)
+	}
+	var req registerWire
+	if err := json.Unmarshal(body, &req); err != nil {
+		return GraphMeta{}, fmt.Errorf("cluster: bad register body: %w", err)
+	}
+	id := NewGraphID()
+	n, edges, family := req.N, make([]edgePair, 0, len(req.Edges)), ""
+	name := req.Name
+	if req.Workload != nil {
+		inst, err := kplist.GenerateWorkload(*req.Workload)
+		if err != nil {
+			return GraphMeta{}, err
+		}
+		n = inst.G.N()
+		family = inst.Spec.Family
+		for _, e := range inst.G.Edges() {
+			edges = append(edges, edgePair{e.U, e.V})
+		}
+	} else {
+		for _, e := range req.Edges {
+			edges = append(edges, edgePair{e[0], e[1]})
+		}
+	}
+	if n <= 0 {
+		return GraphMeta{}, errors.New("cluster: partitioned registration needs n > 0")
+	}
+
+	t := len(c.cfg.Members)
+	// Seed the partition from the cluster seed and the graph ID so the
+	// split is reproducible but distinct per graph.
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	rng := rand.New(rand.NewSource(c.cfg.Seed ^ int64(h.Sum64())))
+	part := partition.Random(n, t, rng)
+
+	pg := &pgraph{
+		id: id, name: name, family: family, p: p, n: n, m: len(edges),
+		parts:    t,
+		partOf:   part.PartOf,
+		sigOwner: make(map[string]string),
+		shardID:  make(map[string]string, t),
+		shardM:   make(map[string]int, t),
+	}
+
+	// Assign every signature to a ring member, and derive each member's
+	// allowed part-pair matrix: pair (a,b), a≠b, is allowed when some
+	// owned signature contains both parts; (a,a) needs multiplicity ≥ 2.
+	allowed := make(map[string][]bool, t)
+	for _, m := range c.cfg.Members {
+		allowed[m.Name] = make([]bool, partition.NumPairs(t))
+	}
+	for _, sig := range signatures(t, p) {
+		key := sigKey(sig)
+		owner := c.ring.Owner(id + "/tuple/" + key).Name
+		pg.sigOwner[key] = owner
+		for i := 0; i < len(sig); i++ {
+			for j := i + 1; j < len(sig); j++ {
+				allowed[owner][partition.PairIndex(sig[i], sig[j], t)] = true
+			}
+		}
+	}
+
+	// Split the edges: an edge goes to every member whose allowed matrix
+	// admits its part pair (members can overlap — the signature filter at
+	// merge time restores disjointness of the clique streams).
+	shardEdges := make(map[string][]edgePair, t)
+	for _, e := range edges {
+		pi := partition.PairIndex(int(part.PartOf[e[0]]), int(part.PartOf[e[1]]), t)
+		for _, m := range c.cfg.Members {
+			if allowed[m.Name][pi] {
+				shardEdges[m.Name] = append(shardEdges[m.Name], e)
+			}
+		}
+	}
+
+	// Register each shard subgraph pinned to its member (first), then
+	// best-effort on the member's ring successors for failover.
+	for _, m := range c.cfg.Members {
+		shardID := id + ShardIDSuffix + m.Name
+		wire := registerWire{
+			ID:    shardID,
+			Name:  name + "/shard/" + m.Name,
+			N:     n,
+			Edges: make([][2]int32, 0, len(shardEdges[m.Name])),
+		}
+		for _, e := range shardEdges[m.Name] {
+			wire.Edges = append(wire.Edges, [2]int32{e[0], e[1]})
+		}
+		buf, err := json.Marshal(wire)
+		if err != nil {
+			return GraphMeta{}, err
+		}
+		placement := c.ring.SuccessorSet(m.Name, c.cfg.Replication)
+		for i, host := range placement {
+			resp, err := c.forward(ctx, host, http.MethodPost, "/v1/graphs", buf)
+			if i == 0 {
+				if err != nil {
+					return GraphMeta{}, fmt.Errorf("%w: shard %s: %v", ErrNoQuorum, shardID, err)
+				}
+				if resp.StatusCode/100 != 2 {
+					msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+					resp.Body.Close()
+					return GraphMeta{}, fmt.Errorf("cluster: shard %s register: status %d: %s",
+						shardID, resp.StatusCode, bytes.TrimSpace(msg))
+				}
+				drain(resp)
+				continue
+			}
+			if err != nil || resp.StatusCode/100 != 2 {
+				c.met.addReplicaFailed()
+				if resp != nil {
+					drain(resp)
+				}
+				continue
+			}
+			drain(resp)
+			c.met.addReplicaAck()
+		}
+		pg.shardID[m.Name] = shardID
+		pg.shardM[m.Name] = len(shardEdges[m.Name])
+	}
+
+	c.pgMu.Lock()
+	c.pgraphs[id] = pg
+	c.pgMu.Unlock()
+	return pg.meta(), nil
+}
+
+func (c *Client) deletePartitioned(ctx context.Context, pg *pgraph) error {
+	var lastErr error
+	for member, shardID := range pg.shardID {
+		for _, host := range c.ring.SuccessorSet(member, c.cfg.Replication) {
+			resp, err := c.forward(ctx, host, http.MethodDelete, "/v1/graphs/"+shardID, nil)
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", host.Name, err)
+				continue
+			}
+			drain(resp)
+			if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+				lastErr = fmt.Errorf("%s: shard delete status %d", host.Name, resp.StatusCode)
+			}
+		}
+	}
+	c.pgMu.Lock()
+	delete(c.pgraphs, pg.id)
+	c.pgMu.Unlock()
+	return lastErr
+}
+
+type edgePair = [2]int32
+
+// shardStream pulls one shard's filtered NDJSON clique stream: lines
+// arrive lexicographically sorted from the node (the kernel's order), and
+// the stream keeps only cliques whose signature this shard owns.
+type shardStream struct {
+	member string
+	resp   *http.Response
+	sc     *bufio.Scanner
+	pg     *pgraph
+	// head is the current (not yet consumed) line and its parsed vertices.
+	head     []byte
+	verts    []int32
+	sigParts []int
+	done     bool
+}
+
+// advance moves to the next owned line; afterwards done || head is valid.
+func (s *shardStream) advance() error {
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		verts, err := parseCliqueLine(line, s.verts[:0])
+		if err != nil {
+			return fmt.Errorf("cluster: shard %s stream: %w", s.member, err)
+		}
+		s.verts = verts
+		if s.sigParts == nil {
+			s.sigParts = make([]int, 0, len(verts))
+		}
+		s.sigParts = s.sigParts[:0]
+		for _, v := range verts {
+			s.sigParts = append(s.sigParts, int(s.pg.partOf[v]))
+		}
+		sort.Ints(s.sigParts)
+		if s.pg.sigOwner[sigKey(s.sigParts)] != s.member {
+			continue
+		}
+		s.head = append(s.head[:0], line...)
+		return nil
+	}
+	s.done = true
+	return s.sc.Err()
+}
+
+func (s *shardStream) close() {
+	if s.resp != nil {
+		s.resp.Body.Close()
+	}
+}
+
+// parseCliqueLine parses "[a,b,c]" into dst.
+func parseCliqueLine(line []byte, dst []int32) ([]int32, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) < 2 || line[0] != '[' || line[len(line)-1] != ']' {
+		return nil, fmt.Errorf("bad clique line %q", line)
+	}
+	body := line[1 : len(line)-1]
+	if len(body) > 0 && body[len(body)-1] == ',' {
+		return nil, fmt.Errorf("bad clique line %q", line)
+	}
+	for len(body) > 0 {
+		i := bytes.IndexByte(body, ',')
+		var tok []byte
+		if i < 0 {
+			tok, body = body, nil
+		} else {
+			tok, body = body[:i], body[i+1:]
+		}
+		v, err := strconv.ParseInt(string(bytes.TrimSpace(tok)), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad clique line %q: %v", line, err)
+		}
+		dst = append(dst, int32(v))
+	}
+	return dst, nil
+}
+
+// lessVerts is lexicographic comparison of two vertex sequences — the
+// kernel's listing order.
+func lessVerts(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// scatterCliques streams the partitioned graph's p-clique listing into w:
+// one filtered stream per shard (failover across the shard's successor
+// placement), k-way merged lexicographically. Returns merged line count.
+func (c *Client) scatterCliques(ctx context.Context, pg *pgraph, p int, algo string, w io.Writer) (int64, error) {
+	if p != pg.p {
+		return 0, fmt.Errorf("%w: registered p=%d, queried p=%d", ErrPartitionMismatch, pg.p, p)
+	}
+	streams := make([]*shardStream, 0, len(pg.shardID))
+	defer func() {
+		for _, s := range streams {
+			s.close()
+		}
+	}()
+	for _, m := range c.cfg.Members {
+		shardID, ok := pg.shardID[m.Name]
+		if !ok {
+			continue
+		}
+		q := fmt.Sprintf("/v1/graphs/%s/cliques?p=%d&stream=1", shardID, p)
+		if algo != "" {
+			q += "&algo=" + algo
+		}
+		if algo == "" || algo == "truth" {
+			// The ground-truth stream defaults to kernel visit order,
+			// which depends on the (shard) graph; lexicographic order is
+			// the one the shards and the single-node reference share.
+			q += "&order=lex"
+		}
+		resp, _, err := c.readFrom(ctx, c.ring.SuccessorSet(m.Name, c.cfg.Replication), m.Name, http.MethodGet, q, nil)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: shard %s: %w", shardID, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return 0, fmt.Errorf("cluster: shard %s: status %d: %s", shardID, resp.StatusCode, bytes.TrimSpace(msg))
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		s := &shardStream{member: m.Name, resp: resp, sc: sc, pg: pg}
+		if err := s.advance(); err != nil {
+			resp.Body.Close()
+			return 0, err
+		}
+		streams = append(streams, s)
+	}
+
+	bw := bufio.NewWriter(w)
+	var lines int64
+	for {
+		var best *shardStream
+		for _, s := range streams {
+			if s.done {
+				continue
+			}
+			if best == nil || lessVerts(s.verts, best.verts) {
+				best = s
+			}
+		}
+		if best == nil {
+			break
+		}
+		bw.Write(best.head)
+		bw.WriteByte('\n')
+		lines++
+		if err := best.advance(); err != nil {
+			return lines, err
+		}
+	}
+	c.met.addScatter(lines)
+	return lines, bw.Flush()
+}

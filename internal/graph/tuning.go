@@ -44,6 +44,14 @@ type Tuning struct {
 	// RebuildMinBatch is the absolute batch-size floor below which a
 	// batch is always applied incrementally.
 	RebuildMinBatch int `json:"rebuildMinBatch,omitempty"`
+	// SessionPoolSize is the serving layer's default LRU capacity of open
+	// sessions (kplistd -pool overrides per process). More sessions avoid
+	// re-peeling graphs on pool misses at the cost of resident kernels.
+	SessionPoolSize int `json:"sessionPoolSize,omitempty"`
+	// BatchWorkers is the worker floor for Session.QueryBatch: batches run
+	// on max(BatchWorkers, 2·MaxConcurrent) goroutines (clamped to the
+	// batch length), so coalesced waiters never starve executors.
+	BatchWorkers int `json:"batchWorkers,omitempty"`
 }
 
 // DefaultTuning returns the built-in knob settings — the constants the
@@ -57,8 +65,17 @@ func DefaultTuning() Tuning {
 		RootChunk:       kernelRootChunk,
 		RebuildFraction: DefaultRebuildFraction,
 		RebuildMinBatch: DefaultRebuildMinBatch,
+		SessionPoolSize: defaultSessionPoolSize,
+		BatchWorkers:    defaultBatchWorkers,
 	}
 }
+
+// The serving-layer defaults PR 3 shipped as hard-wired constants (pool
+// capacity 8, batch-worker floor 8), now autotunable like the kernel knobs.
+const (
+	defaultSessionPoolSize = 8
+	defaultBatchWorkers    = 8
+)
 
 // withDefaults fills zero fields from DefaultTuning and clamps the
 // positive-integer knobs to legal values.
@@ -88,6 +105,18 @@ func (t Tuning) withDefaults() Tuning {
 	if t.RebuildMinBatch == 0 {
 		t.RebuildMinBatch = d.RebuildMinBatch
 	}
+	if t.SessionPoolSize == 0 {
+		t.SessionPoolSize = d.SessionPoolSize
+	}
+	if t.SessionPoolSize < 1 {
+		t.SessionPoolSize = 1
+	}
+	if t.BatchWorkers == 0 {
+		t.BatchWorkers = d.BatchWorkers
+	}
+	if t.BatchWorkers < 1 {
+		t.BatchWorkers = 1
+	}
 	return t
 }
 
@@ -108,6 +137,12 @@ func (t Tuning) Validate() error {
 	}
 	if t.RebuildMinBatch < 0 {
 		return fmt.Errorf("graph: tuning RebuildMinBatch %d < 0", t.RebuildMinBatch)
+	}
+	if t.SessionPoolSize < 0 {
+		return fmt.Errorf("graph: tuning SessionPoolSize %d < 0", t.SessionPoolSize)
+	}
+	if t.BatchWorkers < 0 {
+		return fmt.Errorf("graph: tuning BatchWorkers %d < 0", t.BatchWorkers)
 	}
 	return nil
 }

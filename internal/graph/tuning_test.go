@@ -22,6 +22,9 @@ func TestDefaultTuningMatchesConstants(t *testing.T) {
 	if d.RebuildFraction != DefaultRebuildFraction || d.RebuildMinBatch != DefaultRebuildMinBatch {
 		t.Errorf("dynamic-engine defaults drifted from shipped constants: %+v", d)
 	}
+	if d.SessionPoolSize != defaultSessionPoolSize || d.BatchWorkers != defaultBatchWorkers {
+		t.Errorf("serving-layer defaults drifted from shipped constants: %+v", d)
+	}
 }
 
 func TestSetTuningRestoreAndDefaults(t *testing.T) {
@@ -54,7 +57,7 @@ func TestTuningValidate(t *testing.T) {
 			t.Errorf("Validate(%+v) = %v, want nil", tn, err)
 		}
 	}
-	bad := []Tuning{{RowMaxN: -1}, {RowMinOut: -2}, {BitsetCut: -1}, {RootChunk: -4}, {RebuildMinBatch: -8}}
+	bad := []Tuning{{RowMaxN: -1}, {RowMinOut: -2}, {BitsetCut: -1}, {RootChunk: -4}, {RebuildMinBatch: -8}, {SessionPoolSize: -1}, {BatchWorkers: -2}}
 	for _, tn := range bad {
 		if err := tn.Validate(); err == nil {
 			t.Errorf("Validate(%+v) = nil, want error", tn)

@@ -1,0 +1,265 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kplist/internal/cluster"
+	"kplist/internal/server"
+)
+
+// clusterModeServer starts one cluster-mode node ("n1" of a 3-member
+// ring, R=2) and returns its base URL plus the shared ring.
+func clusterModeServer(t *testing.T) (string, *cluster.Ring) {
+	t.Helper()
+	ring, err := cluster.NewRing(cluster.Config{Members: []cluster.Member{
+		{Name: "n1", Addr: "h1:1"}, {Name: "n2", Addr: "h2:1"}, {Name: "n3", Addr: "h3:1"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, func(c *server.Config) {
+		c.ClusterSelf = "n1"
+		c.ClusterRing = ring
+	})
+	return ts.URL, ring
+}
+
+// idHostedBy searches the explicit-ID namespace for a graph ID whose
+// cluster placement satisfies pred.
+func idHostedBy(t *testing.T, ring *cluster.Ring, pred func(owner string, replicas []cluster.Member) bool) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("c%04x", i)
+		set := ring.ReplicaSet(id, ring.Replication())
+		if pred(set[0].Name, set) {
+			return id
+		}
+	}
+	t.Fatal("no graph ID with the wanted placement in 10000 candidates")
+	return ""
+}
+
+// forward sends a request marked as intra-cluster traffic.
+func forward(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+// TestClusterModeGate drives the node-side ownership gate end to end:
+// unmarked registration is always refused, reads are allowed exactly on
+// the replica set, writes exactly on the owner, refusals carry the owner
+// hint, and the replica-apply endpoint feeds the replication metrics.
+func TestClusterModeGate(t *testing.T) {
+	base, ring := clusterModeServer(t)
+
+	// External registration must go through the gateway.
+	resp, body := postJSON(t, base+"/v1/graphs", map[string]any{
+		"name": "x", "n": 4, "edges": [][2]int{{0, 1}}})
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("unmarked register: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Forwarded registration with an explicit ID owned by this node.
+	owned := idHostedBy(t, ring, func(owner string, _ []cluster.Member) bool { return owner == "n1" })
+	reg := map[string]any{
+		"id": owned, "name": "owned", "n": 5,
+		"edges": [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}}}
+	if resp, body := forward(t, http.MethodPost, base+"/v1/graphs", reg); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("forwarded register: status %d body %s", resp.StatusCode, body)
+	}
+	// Same ID again: duplicate, 409.
+	if resp, _ := forward(t, http.MethodPost, base+"/v1/graphs", reg); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate explicit ID: status %d, want 409", resp.StatusCode)
+	}
+	// The auto namespace is reserved for node-local IDs.
+	auto := map[string]any{"id": "g7", "name": "squat", "n": 3, "edges": [][2]int{{0, 1}}}
+	if resp, _ := forward(t, http.MethodPost, base+"/v1/graphs", auto); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("auto-namespace explicit ID: status %d, want 409", resp.StatusCode)
+	}
+
+	// Reads on a replica-set member pass without the forward mark.
+	if resp, body := get(t, base+"/v1/graphs/"+owned); resp.StatusCode != http.StatusOK {
+		t.Fatalf("read of hosted graph: status %d body %s", resp.StatusCode, body)
+	}
+	// The graph list is ungated (the gateway merges per-node lists).
+	if resp, _ := get(t, base+"/v1/graphs"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+
+	// Unmarked writes are refused even on the owner's own graph… no:
+	// writes are gated on ownership, and n1 owns this graph, so the PATCH
+	// passes; a graph n1 merely replicates must refuse the write.
+	patch := map[string]any{"mutations": []map[string]any{{"op": "add", "u": 0, "v": 3}}}
+	buf, _ := json.Marshal(patch)
+	resp2, err := http.DefaultClient.Do(mustReq(t, http.MethodPatch, base+"/v1/graphs/"+owned+"/edges", buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("owner-side write: status %d", resp2.StatusCode)
+	}
+
+	// A graph hosted here only as a replica: reads pass, writes bounce
+	// with the owner hint.
+	replicated := idHostedBy(t, ring, func(owner string, set []cluster.Member) bool {
+		if owner == "n1" {
+			return false
+		}
+		for _, m := range set {
+			if m.Name == "n1" {
+				return true
+			}
+		}
+		return false
+	})
+	regR := map[string]any{"id": replicated, "name": "replica", "n": 3, "edges": [][2]int{{0, 1}, {1, 2}}}
+	if resp, body := forward(t, http.MethodPost, base+"/v1/graphs", regR); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("replica register: status %d body %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, base+"/v1/graphs/"+replicated); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica read: status %d", resp.StatusCode)
+	}
+	resp3, err := http.DefaultClient.Do(mustReq(t, http.MethodPatch, base+"/v1/graphs/"+replicated+"/edges", buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hint struct {
+		Owner     string `json:"owner"`
+		OwnerAddr string `json:"ownerAddr"`
+	}
+	json.NewDecoder(resp3.Body).Decode(&hint)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("replica-side write: status %d, want 421", resp3.StatusCode)
+	}
+	if hint.Owner == "" || hint.Owner == "n1" || hint.OwnerAddr == "" {
+		t.Fatalf("misdirect hint should name the real owner, got %+v", hint)
+	}
+
+	// And a graph not hosted here at all refuses reads too.
+	foreign := idHostedBy(t, ring, func(_ string, set []cluster.Member) bool {
+		for _, m := range set {
+			if m.Name == "n1" {
+				return false
+			}
+		}
+		return true
+	})
+	if resp, _ := get(t, base+"/v1/graphs/"+foreign); resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign read: status %d, want 421", resp.StatusCode)
+	}
+
+	// Replica apply: the fan-out endpoint mutates without re-gating on
+	// ownership and counts into the replication metrics.
+	patchR := map[string]any{"mutations": []map[string]any{{"op": "add", "u": 0, "v": 2}}}
+	if resp, body := forward(t, http.MethodPatch, base+"/v1/graphs/"+replicated+"/replica", patchR); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica apply: status %d body %s", resp.StatusCode, body)
+	}
+	resp4, metrics := get(t, base+"/metrics")
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatal("metrics unavailable")
+	}
+	for _, want := range []string{"kplistd_replica_applies_total 1", "kplistd_misdirected_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func mustReq(t *testing.T, method, url string, body []byte) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+// TestTruthStreamLexOrder pins the order=lex contract the scatter–gather
+// merge depends on: the memoized lexicographic truth stream must hold the
+// same clique set as the visit-order stream, sorted lexicographically —
+// and must equal the engine stream, which is lexicographic by
+// construction.
+func TestTruthStreamLexOrder(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := postJSON(t, ts.URL+"/v1/graphs", map[string]any{
+		"name": "lex", "workload": map[string]any{"family": "stochastic-block", "n": 60, "seed": int64(5)}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d body %s", resp.StatusCode, body)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(query string) string {
+		resp, body := get(t, ts.URL+"/v1/graphs/"+info.ID+"/cliques?p=3&stream=1"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cliques %s: status %d body %s", query, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	visit := fetch("&algo=truth")
+	lex := fetch("&algo=truth&order=lex")
+	engine := fetch("")
+	if lex != engine {
+		t.Fatal("order=lex truth stream differs from the engine stream")
+	}
+	sortLines := func(s string) string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		// Lexicographic on the parsed vertex tuples, not the raw text.
+		parse := func(l string) []int {
+			var vs []int
+			json.Unmarshal([]byte(l), &vs)
+			return vs
+		}
+		for i := 1; i < len(lines); i++ {
+			for j := i; j > 0; j-- {
+				a, b := parse(lines[j-1]), parse(lines[j])
+				gt := false
+				for k := 0; k < len(a) && k < len(b); k++ {
+					if a[k] != b[k] {
+						gt = a[k] > b[k]
+						break
+					}
+				}
+				if !gt {
+					break
+				}
+				lines[j-1], lines[j] = lines[j], lines[j-1]
+			}
+		}
+		return strings.Join(lines, "\n") + "\n"
+	}
+	if sortLines(visit) != lex {
+		t.Fatal("visit-order truth stream does not hold the same cliques as order=lex")
+	}
+	if visit == "" || lex == "" {
+		t.Fatal("empty streams — the comparison is vacuous")
+	}
+}

@@ -43,7 +43,7 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrGraphNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrRegistryFull):
+	case errors.Is(err, ErrRegistryFull), errors.Is(err, ErrDuplicateGraphID):
 		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
@@ -56,7 +56,12 @@ func statusFor(err error) int {
 
 // registerRequest registers a graph: either an explicit edge list over n
 // vertices, or a workload spec to generate from (exactly one of the two).
+// ID is the cluster extension: the gateway mints one graph ID and has the
+// owner and every replica register under it, so placement and lookups
+// agree across the membership. Explicit IDs may not use the registry's
+// auto-assigned "g<n>" namespace.
 type registerRequest struct {
+	ID       string               `json:"id,omitempty"`
 	Name     string               `json:"name,omitempty"`
 	N        int                  `json:"n,omitempty"`
 	Edges    [][2]int32           `json:"edges,omitempty"`
@@ -132,7 +137,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	// The registry admits (or refuses) first: a capacity rejection must
 	// never create files, so ErrRegistryFull leaves no debris on disk.
-	info, err := s.reg.Register(req.Name, family, g, planted)
+	var (
+		info GraphInfo
+		err  error
+	)
+	if req.ID != "" {
+		info, err = s.reg.RegisterWithID(req.ID, req.Name, family, g, planted)
+	} else {
+		info, err = s.reg.Register(req.Name, family, g, planted)
+	}
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -326,6 +339,20 @@ type patchResponse struct {
 // selectively inside Session.Apply — a mutation burst never flushes the
 // whole working set.
 func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
+	s.applyPatch(w, r, false)
+}
+
+// handleReplicaApply is the cluster replication path: the gateway
+// acknowledges a PATCH once the owner has committed it, then replays the
+// same batch here on every replica. The apply pipeline is identical to
+// the owner's (WAL barrier first, then the incremental engine) — only the
+// accounting differs, so replica write volume is visible separately from
+// client write volume on /metrics.
+func (s *Server) handleReplicaApply(w http.ResponseWriter, r *http.Request) {
+	s.applyPatch(w, r, true)
+}
+
+func (s *Server) applyPatch(w http.ResponseWriter, r *http.Request, replica bool) {
 	id := r.PathValue("id")
 	rg, err := s.reg.Get(id)
 	if err != nil {
@@ -406,6 +433,9 @@ func (s *Server) handlePatchEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.recordMutation(len(muts), ar.Rebuilt, time.Since(start))
+	if replica {
+		s.met.recordReplicaApply()
+	}
 
 	// Publish the mutated snapshot: registry first (future session opens
 	// must see it), then evict any pooled session that is not the one just
@@ -513,7 +543,7 @@ func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 	// no engine run, no round bill, and — with stream=1 — no []Clique is
 	// ever materialized, whatever the output size.
 	if qv.Get("algo") == "truth" {
-		s.serveTruthCliques(w, r, sess, id, p, qv.Get("stream") == "0")
+		s.serveTruthCliques(w, r, sess, id, p, qv.Get("stream") == "0", qv.Get("order") == "lex")
 		return
 	}
 
@@ -571,8 +601,13 @@ func (s *Server) handleCliques(w http.ResponseWriter, r *http.Request) {
 // streams straight off the enumeration kernel's visitor — one reused
 // line buffer, flushed every streamFlushEvery lines, in the kernel's
 // deterministic enumeration order — so the response is byte-identical
-// across requests without the server ever holding the listing.
-func (s *Server) serveTruthCliques(w http.ResponseWriter, r *http.Request, sess *kplist.Session, id string, p int, document bool) {
+// across requests without the server ever holding the listing. With
+// order=lex the stream rides the memoized lexicographically sorted
+// listing instead: visit order depends on the graph's degeneracy
+// structure, so only the lexicographic form is comparable across
+// different graphs covering the same cliques — which is what the cluster
+// gateway's scatter–gather merge needs for byte-identical output.
+func (s *Server) serveTruthCliques(w http.ResponseWriter, r *http.Request, sess *kplist.Session, id string, p int, document, lex bool) {
 	if p < 1 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("ground truth requires p ≥ 1, got %d", p))
 		return
@@ -593,7 +628,7 @@ func (s *Server) serveTruthCliques(w http.ResponseWriter, r *http.Request, sess 
 	flusher, _ := w.(http.Flusher)
 	line := make([]byte, 0, 64)
 	lines := 0
-	err := sess.VisitGroundTruth(r.Context(), p, func(c kplist.Clique) bool {
+	emit := func(c kplist.Clique) bool {
 		line = line[:0]
 		line = append(line, '[')
 		for i, v := range c {
@@ -616,7 +651,17 @@ func (s *Server) serveTruthCliques(w http.ResponseWriter, r *http.Request, sess 
 			}
 		}
 		return true
-	})
+	}
+	if lex {
+		for _, c := range sess.GroundTruth(p) {
+			if r.Context().Err() != nil || !emit(c) {
+				return
+			}
+		}
+		_ = bw.Flush()
+		return
+	}
+	err := sess.VisitGroundTruth(r.Context(), p, emit)
 	if err != nil {
 		return // headers already sent; the truncated stream is the signal
 	}

@@ -135,6 +135,11 @@ type metrics struct {
 	walFsync           *histogram
 	compactions        int64
 	compactionFailures int64
+
+	// Cluster counters: replica-apply batches accepted from a gateway, and
+	// unmarked requests refused because this node does not host the graph.
+	replicaApplies int64
+	misdirected    int64
 }
 
 func newMetrics() *metrics {
@@ -173,6 +178,22 @@ func (m *metrics) recordCompactionFailure() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.compactionFailures++
+}
+
+// recordReplicaApply accounts one mutation batch applied through the
+// cluster replica endpoint.
+func (m *metrics) recordReplicaApply() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replicaApplies++
+}
+
+// recordMisdirect accounts one unmarked request refused with 421 because
+// this node does not host the requested graph.
+func (m *metrics) recordMisdirect() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.misdirected++
 }
 
 // recordMutation accounts one applied mutation batch.
@@ -313,6 +334,11 @@ func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_sum %g\n", h.sum)
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_count %d\n", h.count)
 	}
+
+	fmt.Fprintf(w, "# TYPE kplistd_replica_applies_total counter\n")
+	fmt.Fprintf(w, "kplistd_replica_applies_total %d\n", m.replicaApplies)
+	fmt.Fprintf(w, "# TYPE kplistd_misdirected_total counter\n")
+	fmt.Fprintf(w, "kplistd_misdirected_total %d\n", m.misdirected)
 
 	fmt.Fprintf(w, "# TYPE kplistd_wal_appends_total counter\n")
 	fmt.Fprintf(w, "kplistd_wal_appends_total %d\n", m.walAppends)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"kplist"
+	"kplist/internal/graph"
 )
 
 // PoolStats is a snapshot of the session pool's counters.
@@ -55,10 +56,11 @@ type poolEntry struct {
 }
 
 // NewSessionPool returns a pool of at most capacity open sessions
-// (≤ 0 means 8), each opened with cfg.
+// (≤ 0 means the tuned graph.Tuning.SessionPoolSize, 8 untuned), each
+// opened with cfg.
 func NewSessionPool(capacity int, cfg kplist.SessionConfig) *SessionPool {
 	if capacity <= 0 {
-		capacity = 8
+		capacity = graph.CurrentTuning().SessionPoolSize
 	}
 	return &SessionPool{
 		capacity: capacity,

@@ -9,6 +9,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"regexp"
 	"sort"
 	"sync"
 
@@ -22,6 +23,9 @@ var (
 	ErrGraphNotFound = errors.New("server: graph not found")
 	// ErrRegistryFull reports a Register against a registry at MaxGraphs.
 	ErrRegistryFull = errors.New("server: graph registry full")
+	// ErrDuplicateGraphID reports a RegisterWithID under an ID that is
+	// already registered (or squats on the auto "g<n>" namespace).
+	ErrDuplicateGraphID = errors.New("server: graph ID unavailable")
 )
 
 // GraphInfo is the wire-visible description of a registered graph.
@@ -84,6 +88,38 @@ func (r *Registry) Register(name, family string, g *kplist.Graph, planted []kpli
 		Planted: len(planted),
 	}
 	r.graphs[info.ID] = &RegisteredGraph{Info: info, G: g, Planted: planted}
+	return info, nil
+}
+
+// autoID matches the registry's own "g<n>" namespace; explicit IDs may
+// not squat on it, so auto-assignment never collides with RegisterWithID.
+var autoID = regexp.MustCompile(`^g[0-9]+$`)
+
+// RegisterWithID stores g under a caller-chosen ID — the cluster path,
+// where the gateway mints one ID and every replica registers the same
+// graph under it. It fails on a duplicate ID, an ID inside the auto
+// namespace ("g<n>"), or at capacity.
+func (r *Registry) RegisterWithID(id, name, family string, g *kplist.Graph, planted []kplist.Clique) (GraphInfo, error) {
+	if id == "" || autoID.MatchString(id) {
+		return GraphInfo{}, fmt.Errorf("%w: %q is empty or inside the reserved g<n> namespace", ErrDuplicateGraphID, id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.graphs) >= r.max {
+		return GraphInfo{}, fmt.Errorf("%w (%d graphs; remove one first)", ErrRegistryFull, r.max)
+	}
+	if _, dup := r.graphs[id]; dup {
+		return GraphInfo{}, fmt.Errorf("%w: %q already registered", ErrDuplicateGraphID, id)
+	}
+	info := GraphInfo{
+		ID:      id,
+		Name:    name,
+		N:       g.N(),
+		M:       g.M(),
+		Family:  family,
+		Planted: len(planted),
+	}
+	r.graphs[id] = &RegisteredGraph{Info: info, G: g, Planted: planted}
 	return info, nil
 }
 

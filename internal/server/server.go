@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"kplist"
+	"kplist/internal/cluster"
+	"kplist/internal/graph"
 )
 
 // Config sizes the serving layer. Zero values take the documented
@@ -18,8 +20,9 @@ type Config struct {
 	// fails with 409 — graphs are tenant state and are never silently
 	// dropped.
 	MaxGraphs int
-	// PoolSize bounds the LRU pool of open sessions (default 8): the
-	// resident preprocessed working set.
+	// PoolSize bounds the LRU pool of open sessions (default
+	// graph.Tuning.SessionPoolSize, 8 untuned): the resident preprocessed
+	// working set.
 	PoolSize int
 	// Session configures every pooled session (per-session scheduler
 	// bound, Verify, PruneByDegeneracy).
@@ -46,6 +49,14 @@ type Config struct {
 	// MaxMutationBatch bounds one PATCH /edges request's mutation count
 	// (default 4096).
 	MaxMutationBatch int
+	// ClusterSelf and ClusterRing put the node in cluster mode: the node
+	// builds the same consistent-hash ring as the gateway (ClusterSelf
+	// must be this node's member name in it) and refuses unmarked external
+	// requests for graphs it does not host with 421 Misdirected Request
+	// plus an owner hint — gateway traffic carries the cluster header and
+	// bypasses the check. Both empty/nil (the default) means standalone.
+	ClusterSelf string
+	ClusterRing *cluster.Ring
 	// DataDir, when non-empty, makes the server durable: every registered
 	// graph gets a snapshot file + write-ahead log under it, mutation
 	// batches are logged before they are acknowledged, and Open recovers
@@ -62,7 +73,7 @@ func (c Config) withDefaults() Config {
 		c.MaxGraphs = 64
 	}
 	if c.PoolSize <= 0 {
-		c.PoolSize = 8
+		c.PoolSize = graph.CurrentTuning().SessionPoolSize
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
@@ -164,14 +175,63 @@ func Open(cfg Config) (*Server, error) {
 	// when the serving path is saturated.
 	s.route("GET /healthz", http.HandlerFunc(s.handleHealthz), false)
 	s.route("GET /metrics", http.HandlerFunc(s.handleMetrics), false)
-	s.route("POST /v1/graphs", http.HandlerFunc(s.handleRegister), true)
+	s.route("POST /v1/graphs", s.clusterGate(http.HandlerFunc(s.handleRegister), true), true)
 	s.route("GET /v1/graphs", http.HandlerFunc(s.handleList), true)
-	s.route("GET /v1/graphs/{id}", http.HandlerFunc(s.handleGet), true)
-	s.route("DELETE /v1/graphs/{id}", http.HandlerFunc(s.handleDelete), true)
-	s.route("POST /v1/graphs/{id}/query", http.HandlerFunc(s.handleQuery), true)
-	s.route("GET /v1/graphs/{id}/cliques", http.HandlerFunc(s.handleCliques), true)
-	s.route("PATCH /v1/graphs/{id}/edges", http.HandlerFunc(s.handlePatchEdges), true)
+	s.route("GET /v1/graphs/{id}", s.clusterGate(http.HandlerFunc(s.handleGet), false), true)
+	s.route("DELETE /v1/graphs/{id}", s.clusterGate(http.HandlerFunc(s.handleDelete), true), true)
+	s.route("POST /v1/graphs/{id}/query", s.clusterGate(http.HandlerFunc(s.handleQuery), false), true)
+	s.route("GET /v1/graphs/{id}/cliques", s.clusterGate(http.HandlerFunc(s.handleCliques), false), true)
+	s.route("PATCH /v1/graphs/{id}/edges", s.clusterGate(http.HandlerFunc(s.handlePatchEdges), true), true)
+	s.route("PATCH /v1/graphs/{id}/replica", http.HandlerFunc(s.handleReplicaApply), true)
 	return s, nil
+}
+
+// clusterGate enforces static-sharding ownership on unmarked (external)
+// traffic when the node runs in cluster mode. Requests carrying the
+// cluster forward header — gateway and peer traffic — pass through
+// untouched; so does everything in standalone mode. For external traffic,
+// writes must land on the graph's ring owner and reads on any member of
+// its replica set; anything else answers 421 Misdirected Request with the
+// owner's name and address, so a client talking to the wrong node learns
+// where to go instead of reading a graph this node never hosts.
+func (s *Server) clusterGate(h http.Handler, write bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ring := s.cfg.ClusterRing
+		if ring == nil || r.Header.Get(cluster.ForwardHeader) != "" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		id := r.PathValue("id")
+		if id == "" {
+			// POST /v1/graphs: external registration must go through the
+			// gateway — node-local IDs would diverge from cluster placement.
+			s.met.recordMisdirect()
+			writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+				"error": "cluster mode: register graphs through the gateway",
+			})
+			return
+		}
+		owner := ring.Owner(id)
+		allowed := owner.Name == s.cfg.ClusterSelf
+		if !allowed && !write {
+			for _, m := range ring.ReplicaSet(id, ring.Replication()) {
+				if m.Name == s.cfg.ClusterSelf {
+					allowed = true
+					break
+				}
+			}
+		}
+		if allowed {
+			h.ServeHTTP(w, r)
+			return
+		}
+		s.met.recordMisdirect()
+		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+			"error":     fmt.Sprintf("graph %s is not hosted here", id),
+			"owner":     owner.Name,
+			"ownerAddr": owner.Addr,
+		})
+	})
 }
 
 // Recovery returns what boot recovery found and replayed (the zero value

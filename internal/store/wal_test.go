@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -251,5 +252,68 @@ func TestScanRecordsRejectsNonIncreasingSeq(t *testing.T) {
 	}
 	if !res.Corrupt || len(res.Records) != 1 {
 		t.Errorf("duplicated seq: corrupt=%v records=%d, want corrupt with 1 record", res.Corrupt, len(res.Records))
+	}
+}
+
+// TestWALSyncedLifecycle runs the WAL with per-append fsync enabled (the
+// production configuration) end to end: creation syncs the header,
+// appends sync each frame, Reset syncs the truncation, and the explicit
+// Sync flush succeeds.
+func TestWALSyncedLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "synced.wal")
+	w, res, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatalf("OpenWAL synced: %v", err)
+	}
+	if len(res.Records) != 0 || res.Torn || res.Corrupt {
+		t.Fatalf("fresh synced WAL scan: %+v", res)
+	}
+	if _, err := w.Append([]byte("batch-1")); err != nil {
+		t.Fatalf("synced append: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("explicit sync: %v", err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("synced reset: %v", err)
+	}
+	if w.Records() != 0 || w.Size() != int64(len(walMagic)) {
+		t.Fatalf("after reset: records=%d size=%d", w.Records(), w.Size())
+	}
+	// Sequence numbers survive the reset.
+	if seq, err := w.Append([]byte("batch-2")); err != nil || seq != 2 {
+		t.Fatalf("post-reset append: seq=%d err=%v", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	_, res2, err := OpenWAL(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Records) != 1 || res2.Records[0].Seq != 2 {
+		t.Fatalf("reopen after synced lifecycle: %+v", res2)
+	}
+}
+
+// TestWALFailedRollbackPoisonsLog closes the file out from under the WAL
+// so an append's write fails AND the rollback's truncate fails: the log
+// must mark itself unusable and refuse every later append rather than
+// acknowledge writes past a stale frame.
+func TestWALFailedRollbackPoisonsLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "poison.wal")
+	w, _ := mustOpenWAL(t, path)
+	if _, err := w.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close() // sabotage: write and truncate now both fail
+	if _, err := w.Append([]byte("doomed")); err == nil {
+		t.Fatal("append on closed file succeeded")
+	}
+	if !w.failed {
+		t.Fatal("failed rollback did not poison the log")
+	}
+	if _, err := w.Append([]byte("after")); err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("poisoned log accepted an append: %v", err)
 	}
 }

@@ -532,8 +532,8 @@ func (s *Session) QueryBatch(qs []Query) []BatchResult {
 func (s *Session) QueryBatchContext(ctx context.Context, qs []Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	workers := 2 * s.cfg.MaxConcurrent
-	if workers < 8 {
-		workers = 8
+	if floor := graph.CurrentTuning().BatchWorkers; workers < floor {
+		workers = floor
 	}
 	if workers > len(qs) {
 		workers = len(qs)
