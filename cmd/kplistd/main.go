@@ -2,6 +2,12 @@
 // graph registry (upload edge lists or generate workload-family graphs),
 // an LRU pool of open sessions, engine-selectable single/batch queries,
 // NDJSON clique streaming, and admission control with load-shedding.
+// Every graph carries an applied-batch sequence number exposed through
+// /v1/graphs/{id}/digest (seq + edge-set content hash) and
+// /v1/graphs/{id}/export (a register document that reproduces state and
+// seq on another node); in cluster mode, replica applies are seq-tagged
+// so duplicates are acknowledged idempotently and gaps are refused —
+// the foundation of the gateway's hinted handoff and anti-entropy repair.
 //
 //	kplistd -addr :8080
 //

@@ -9,7 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -29,11 +31,25 @@ type ClientOptions struct {
 	// HTTPClient overrides the transport (tests inject httptest clients).
 	HTTPClient *http.Client
 	// RetryBackoff is the pause before each failover attempt beyond the
-	// first (default 25ms, scaled linearly by attempt number).
+	// first (default 25ms, scaled linearly by attempt number and
+	// jittered).
 	RetryBackoff time.Duration
 	// ProbeInterval is the health-probe period started by Start
-	// (default 2s).
+	// (default 2s, jittered per pass).
 	ProbeInterval time.Duration
+	// JitterSeed seeds the deterministic jitter applied to probe
+	// intervals and failover backoff (default 1). Seeding keeps test runs
+	// reproducible; distinct seeds keep a fleet of gateways from retrying
+	// in lockstep after a member recovers.
+	JitterSeed int64
+	// HintQueueLimit bounds each member's hinted-handoff queue (default
+	// 128 batches; negative disables handoff — every missed fan-out then
+	// marks the replica dirty for full-state repair).
+	HintQueueLimit int
+	// RepairInterval is the anti-entropy sweep period started by Start
+	// (default 5s; negative disables the background loop — RepairNow
+	// still works on demand).
+	RepairInterval time.Duration
 }
 
 // Client is the embeddable routing layer: it knows the ring, tracks
@@ -55,6 +71,17 @@ type Client struct {
 	pgraphs map[string]*pgraph
 
 	patchLocks sync.Map // graph ID → *sync.Mutex (fan-out ordering)
+
+	// hints is the hinted-handoff state (per-member queues + dirty marks);
+	// the sweeper fields drive the background anti-entropy loop.
+	hints          *hintSet
+	repairInterval time.Duration
+	repairCancel   context.CancelFunc
+	repairDone     sync.WaitGroup
+	sweepMu        sync.Mutex // one sweep at a time
+
+	jmu  sync.Mutex
+	jrng *mrand.Rand
 }
 
 // NewClient builds a Client over the membership. Call Start to begin
@@ -88,14 +115,55 @@ func NewClient(cfg Config, opts ClientOptions) (*Client, error) {
 		interval = 2 * time.Second
 	}
 	c.pr = &prober{c: c, interval: interval}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	c.jrng = mrand.New(mrand.NewSource(seed))
+	hintLimit := opts.HintQueueLimit
+	switch {
+	case hintLimit == 0:
+		hintLimit = 128
+	case hintLimit < 0:
+		hintLimit = 0 // handoff disabled: every enqueue overflows to dirty
+	}
+	c.hints = newHintSet(hintLimit)
+	c.repairInterval = opts.RepairInterval
+	if c.repairInterval == 0 {
+		c.repairInterval = 5 * time.Second
+	}
 	return c, nil
 }
 
-// Start launches the background health prober.
-func (c *Client) Start() { c.pr.start() }
+// Start launches the background health prober and, unless disabled, the
+// anti-entropy repair loop.
+func (c *Client) Start() {
+	c.pr.start()
+	c.startRepairLoop()
+}
 
-// Close stops the prober. The Client performs no further I/O of its own.
-func (c *Client) Close() { c.pr.stop() }
+// Close stops the prober and the repair loop. The Client performs no
+// further I/O of its own.
+func (c *Client) Close() {
+	c.pr.stop()
+	if c.repairCancel != nil {
+		c.repairCancel()
+		c.repairDone.Wait()
+	}
+}
+
+// jittered returns a duration in [d/2, 3d/2) drawn from the client's
+// seeded RNG: deterministic for a fixed seed, desynchronized across
+// differently-seeded gateways.
+func (c *Client) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	c.jmu.Lock()
+	f := 0.5 + c.jrng.Float64()
+	c.jmu.Unlock()
+	return time.Duration(float64(d) * f)
+}
 
 // Ring exposes placement (tests and the gateway's ring-state gauges).
 func (c *Client) Ring() *Ring { return c.ring }
@@ -124,8 +192,10 @@ func NewGraphID() string {
 
 // forward sends one request to one member, recording metrics and health.
 // A transport error or 5xx marks the member down; any response marks it
-// up (a 4xx is the member answering, not dying).
-func (c *Client) forward(ctx context.Context, m Member, method, pathAndQuery string, body []byte) (*http.Response, error) {
+// up (a 4xx is the member answering, not dying). Optional extra headers
+// (name, value pairs) ride along — the replication path tags batches
+// with their sequence number this way.
+func (c *Client) forward(ctx context.Context, m Member, method, pathAndQuery string, body []byte, extra ...[2]string) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -138,6 +208,9 @@ func (c *Client) forward(ctx context.Context, m Member, method, pathAndQuery str
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for _, kv := range extra {
+		req.Header.Set(kv[0], kv[1])
+	}
 	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -149,9 +222,18 @@ func (c *Client) forward(ctx context.Context, m Member, method, pathAndQuery str
 	if resp.StatusCode >= http.StatusInternalServerError {
 		c.healthOf(m.Name).markDown()
 	} else {
-		c.healthOf(m.Name).markUp()
+		c.noteUp(m.Name)
 	}
 	return resp, nil
+}
+
+// noteUp marks a member healthy and, on a down→up flip, kicks a replay
+// of its hinted-handoff queue — the moment a member returns is exactly
+// when its queued batches should drain.
+func (c *Client) noteUp(name string) {
+	if c.healthOf(name).markUp() {
+		c.kickReplay(name)
+	}
 }
 
 // orderByHealth stably moves down-marked members behind up-marked ones:
@@ -179,11 +261,37 @@ func (c *Client) Candidates(id string) []Member {
 }
 
 // retryable reports whether a response status should push a read onto
-// the next candidate: server-side failures always; 404 only because a
-// lagging replica may not have seen the registration yet (the last 404
-// is returned if every candidate agrees).
+// the next candidate: server-side failures always; 429 because the
+// member shed the request under load and a replica may have headroom;
+// 404 only because a lagging replica may not have seen the registration
+// yet (the last 404 is returned if every candidate agrees).
 func retryable(status int) bool {
-	return status >= http.StatusInternalServerError || status == http.StatusNotFound
+	return status >= http.StatusInternalServerError ||
+		status == http.StatusNotFound ||
+		status == http.StatusTooManyRequests
+}
+
+// maxRetryAfterWait caps how long the client honors a Retry-After hint:
+// replicas exist precisely so a read need not wait out one member's
+// queue, so the hint bounds politeness, not availability.
+const maxRetryAfterWait = 2 * time.Second
+
+// retryAfterHint extracts a shed member's Retry-After (whole seconds) on
+// 429/503, capped at maxRetryAfterWait; 0 means no hint.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp == nil ||
+		(resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfterWait {
+		d = maxRetryAfterWait
+	}
+	return d
 }
 
 // doRead forwards a read to the graph's owner, failing over to replicas
@@ -199,29 +307,62 @@ func (c *Client) doRead(ctx context.Context, id, method, pathAndQuery string, bo
 // readFrom is doRead over an explicit candidate set (owner-name first in
 // preference; healthy candidates are tried before down-marked ones).
 // Reads answered by a member other than `preferred` count as failovers.
+// Backoff between candidates is jittered (so a fleet of gateways does
+// not retry in lockstep) and stretched to honor a shed member's
+// Retry-After hint. A first 404 gets one short same-member re-probe
+// before failing over: a lagging replica often lands the registration
+// within a backoff, and the retry is counted separately from real
+// not-found.
 func (c *Client) readFrom(ctx context.Context, set []Member, preferred, method, pathAndQuery string, body []byte) (*http.Response, Member, error) {
 	cands := c.orderByHealth(set)
 	var lastResp *http.Response
 	var lastMember Member
 	var lastErr error
+	var hinted time.Duration // Retry-After carried from the previous attempt
+	reprobed := false
 	for i, m := range cands {
 		if i > 0 {
 			c.met.addRetry()
+			pause := c.jittered(time.Duration(i) * c.backoff)
+			if hinted > pause {
+				pause = hinted
+			}
 			select {
 			case <-ctx.Done():
 				if lastResp != nil {
 					return lastResp, lastMember, nil
 				}
 				return nil, Member{}, ctx.Err()
-			case <-time.After(time.Duration(i) * c.backoff):
+			case <-time.After(pause):
 			}
 		}
+		hinted = 0
 		resp, err := c.forward(ctx, m, method, pathAndQuery, body)
+		if err == nil && resp.StatusCode == http.StatusNotFound && !reprobed && method == http.MethodGet {
+			// Lagging-replica window: re-ask the same member once after a
+			// short pause instead of failing the read over immediately.
+			reprobed = true
+			c.met.addNotFoundReprobe()
+			drain(resp)
+			select {
+			case <-ctx.Done():
+				if lastResp != nil {
+					return lastResp, lastMember, nil
+				}
+				return nil, Member{}, ctx.Err()
+			case <-time.After(c.jittered(c.backoff)):
+			}
+			resp, err = c.forward(ctx, m, method, pathAndQuery, body)
+			if err == nil && resp.StatusCode != http.StatusNotFound {
+				c.met.addNotFoundRecovered()
+			}
+		}
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if retryable(resp.StatusCode) && i+1 < len(cands) {
+			hinted = retryAfterHint(resp)
 			if lastResp != nil {
 				lastResp.Body.Close()
 			}
@@ -271,6 +412,9 @@ func (c *Client) RegisterRaw(ctx context.Context, id string, body []byte) (*http
 		rr, err := c.forward(ctx, m, http.MethodPost, "/v1/graphs", body)
 		if err != nil || rr.StatusCode/100 != 2 {
 			c.met.addReplicaFailed()
+			// A replica that missed the registration has nothing to replay
+			// batches onto: only a full-state transfer can seed it.
+			c.markDirtyReplica(m.Name, id)
 			if rr != nil {
 				drain(rr)
 			}
@@ -286,9 +430,15 @@ func (c *Client) RegisterRaw(ctx context.Context, id string, body []byte) (*http
 // PatchRaw applies one mutation batch: acknowledged by the owner (which
 // appends + fsyncs its WAL before answering), then fanned out
 // synchronously but best-effort to every replica through the
-// replica-apply endpoint. Failed replica applies are counted as
-// replication lag — the batch is still committed. Per-graph fan-out is
-// serialized so replicas apply batches in owner order.
+// replica-apply endpoint, tagged with the owner-assigned sequence
+// number. A replica the fan-out cannot reach gets the batch queued in
+// its hinted-handoff queue instead (replayed when the prober flips it
+// back up); queue overflow and outright refusals mark the replica dirty
+// for the anti-entropy sweeper's full-state repair. Either way the batch
+// is committed — the owner acknowledged it. Per-graph fan-out is
+// serialized so replicas apply batches in owner order. An owner that
+// sheds the PATCH with 429/503 and a Retry-After hint is retried once
+// after the hinted wait before the write fails.
 func (c *Client) PatchRaw(ctx context.Context, id string, body []byte) (*http.Response, int, error) {
 	muRaw, _ := c.patchLocks.LoadOrStore(id, &sync.Mutex{})
 	mu := muRaw.(*sync.Mutex)
@@ -300,30 +450,157 @@ func (c *Client) PatchRaw(ctx context.Context, id string, body []byte) (*http.Re
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %s: %v", ErrNoQuorum, set[0].Name, err)
 	}
+	if d := retryAfterHint(resp); d > 0 {
+		// The owner shed under load and told us when to come back: writes
+		// have no replica to fail over to, so waiting is the only move.
+		drain(resp)
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-time.After(d):
+		}
+		c.met.addRetry()
+		resp, err = c.forward(ctx, set[0], http.MethodPatch, "/v1/graphs/"+id+"/edges", body)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %s: %v", ErrNoQuorum, set[0].Name, err)
+		}
+	}
 	if resp.StatusCode/100 != 2 {
 		return resp, 0, nil
 	}
+	seq, _ := strconv.ParseUint(resp.Header.Get(SeqHeader), 10, 64)
 	acks := 0
 	for _, m := range set[1:] {
-		rr, err := c.forward(ctx, m, http.MethodPatch, "/v1/graphs/"+id+"/replica", body)
-		if err != nil || rr.StatusCode/100 != 2 {
-			c.met.addReplicaFailed()
+		if c.replicate(ctx, m, id, seq, body) {
+			acks++
+		}
+	}
+	return resp, acks, nil
+}
+
+// replicate delivers one sequence-tagged batch to one replica, or hands
+// it to the member's hint queue when the member is down or the graph
+// already has queued hints there (a direct send would overtake them).
+// Returns true when the replica acknowledged synchronously.
+func (c *Client) replicate(ctx context.Context, m Member, id string, seq uint64, body []byte) bool {
+	if !c.MemberUp(m.Name) || c.hints.pendingGraph(m.Name, id) > 0 {
+		c.met.addReplicaFailed()
+		c.enqueueHint(m.Name, id, seq, body)
+		return false
+	}
+	rr, err := c.forward(ctx, m, http.MethodPatch, "/v1/graphs/"+id+"/replica", body,
+		[2]string{SeqHeader, strconv.FormatUint(seq, 10)})
+	switch {
+	case err == nil && rr.StatusCode/100 == 2:
+		drain(rr)
+		c.met.addReplicaAck()
+		return true
+	case err != nil || rr.StatusCode >= http.StatusInternalServerError ||
+		rr.StatusCode == http.StatusTooManyRequests:
+		// Transient: the member (or its admission queue) is unhealthy; the
+		// batch waits in the hint queue for the next up-flip.
+		if rr != nil {
+			drain(rr)
+		}
+		c.met.addReplicaFailed()
+		c.enqueueHint(m.Name, id, seq, body)
+	default:
+		// The replica answered and refused (seq gap, missing graph): replay
+		// cannot fix that — only a full-state transfer can.
+		drain(rr)
+		c.met.addReplicaFailed()
+		c.markDirtyReplica(m.Name, id)
+	}
+	return false
+}
+
+// enqueueHint queues one batch for a downed replica; on overflow the
+// batch is dropped and the replica marked dirty (the queued prefix stays
+// — it is still a valid replay).
+func (c *Client) enqueueHint(member, id string, seq uint64, body []byte) {
+	if c.hints.enqueue(member, hint{graph: id, seq: seq, body: body}) {
+		c.met.addHintQueued()
+		return
+	}
+	c.met.addHintDropped()
+	c.markDirtyReplica(member, id)
+}
+
+// markDirtyReplica flags (member, id) for full-state repair, counting
+// first-time detections as divergence.
+func (c *Client) markDirtyReplica(member, id string) {
+	if c.hints.markDirty(member, id) {
+		c.met.addDivergence()
+	}
+}
+
+// kickReplay starts an asynchronous drain of member's hint queue unless
+// one is already running (or there is nothing to drain).
+func (c *Client) kickReplay(name string) {
+	if c.hints.depth(name) == 0 {
+		return
+	}
+	go c.replayHints(name)
+}
+
+// replayHints drains member's hint queue in FIFO order, sending each
+// batch with its original sequence number (replicas acknowledge
+// duplicates idempotently, so a replay racing a probe-triggered replay
+// of the same queue cannot double-apply — and beginReplay serializes
+// them anyway). Each hint is sent under its graph's fan-out lock so
+// replays interleave correctly with live PATCH traffic. A transient
+// failure stops the drain — the member flipped back down and the next
+// up-flip resumes; a refusal (4xx) abandons the hint and marks the
+// replica dirty.
+func (c *Client) replayHints(name string) {
+	if !c.hints.beginReplay(name) {
+		return
+	}
+	defer c.hints.endReplay(name)
+	m, ok := c.cfg.MemberNamed(name)
+	if !ok {
+		return
+	}
+	for {
+		h, ok := c.hints.front(name)
+		if !ok {
+			return
+		}
+		muRaw, _ := c.patchLocks.LoadOrStore(h.graph, &sync.Mutex{})
+		mu := muRaw.(*sync.Mutex)
+		mu.Lock()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		rr, err := c.forward(ctx, m, http.MethodPatch, "/v1/graphs/"+h.graph+"/replica", h.body,
+			[2]string{SeqHeader, strconv.FormatUint(h.seq, 10)})
+		cancel()
+		switch {
+		case err == nil && rr.StatusCode/100 == 2:
+			drain(rr)
+			c.hints.pop(name)
+			c.met.addHintReplayed()
+		case err == nil && rr.StatusCode < http.StatusInternalServerError &&
+			rr.StatusCode != http.StatusTooManyRequests:
+			drain(rr)
+			c.hints.pop(name)
+			c.markDirtyReplica(name, h.graph)
+		default:
 			if rr != nil {
 				drain(rr)
 			}
-			continue
+			mu.Unlock()
+			return
 		}
-		drain(rr)
-		c.met.addReplicaAck()
-		acks++
+		mu.Unlock()
 	}
-	return resp, acks, nil
 }
 
 // DeleteRaw removes the graph from every member of its replica set. It
 // succeeds when at least one member confirmed the delete and no reachable
 // member failed it for a reason other than "already gone".
 func (c *Client) DeleteRaw(ctx context.Context, id string) (int, error) {
+	// Deleted graphs have nothing left to heal: drop their queued hints
+	// and dirty marks everywhere before the member fan-out.
+	c.hints.purgeAll(id)
 	deleted := 0
 	var lastErr error
 	for _, m := range c.ring.ReplicaSet(id, c.cfg.Replication) {

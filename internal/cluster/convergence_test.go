@@ -1,0 +1,526 @@
+package cluster_test
+
+// The self-healing convergence suite (DESIGN.md §13): durable kplistd
+// nodes behind a seeded faultnet fabric, a gateway client doing
+// owner-first writes with hinted handoff, and an anti-entropy sweeper.
+// The contract under test: after any run of drops, partitions, and
+// kill-restarts, once the network heals every replica's digest converges
+// to its owner's, and the owner's state contains exactly the batches the
+// gateway acknowledged — no acked write lost, no unacked write smuggled
+// in (the fabric aborts faulted requests before the backend sees them).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kplist"
+	"kplist/internal/cluster"
+	"kplist/internal/faultnet"
+	"kplist/internal/server"
+)
+
+// chaosHarness is a loopback cluster whose members sit behind faultnet
+// proxies: n durable (WAL-backed) kplistd nodes, a routing client, a
+// gateway front, and a standalone reference server that receives exactly
+// the batches the cluster acknowledged.
+type chaosHarness struct {
+	t       *testing.T
+	net     *faultnet.Net
+	nodeCfg cluster.Config
+	names   []string
+	dirs    map[string]string
+	proxies map[string]*faultnet.Proxy
+	backend map[string]*httptest.Server
+	client  *cluster.Client
+	gw      *httptest.Server
+	ref     *httptest.Server
+}
+
+func newChaosHarness(t *testing.T, n, replication int, fabricSeed int64, opts cluster.ClientOptions) *chaosHarness {
+	t.Helper()
+	h := &chaosHarness{
+		t:       t,
+		net:     faultnet.New(fabricSeed),
+		dirs:    make(map[string]string),
+		proxies: make(map[string]*faultnet.Proxy),
+		backend: make(map[string]*httptest.Server),
+	}
+	placeholder := make([]cluster.Member, n)
+	for i := range placeholder {
+		placeholder[i] = cluster.Member{Name: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("placeholder%d:1", i+1)}
+	}
+	h.nodeCfg = cluster.Config{Members: placeholder, Replication: replication, Seed: fabricSeed}
+	real := make([]cluster.Member, n)
+	for i := range placeholder {
+		name := placeholder[i].Name
+		h.names = append(h.names, name)
+		h.dirs[name] = t.TempDir()
+		backend := httptest.NewServer(h.openNode(name).Handler())
+		h.backend[name] = backend
+		px := h.net.Proxy(name, backend.URL)
+		h.proxies[name] = px
+		front := httptest.NewServer(px)
+		t.Cleanup(front.Close)
+		real[i] = cluster.Member{Name: name, Addr: front.URL}
+	}
+	client, err := cluster.NewClient(
+		cluster.Config{Members: real, Replication: replication, Seed: fabricSeed}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.client = client
+	client.Start()
+	t.Cleanup(client.Close)
+	h.gw = httptest.NewServer(cluster.NewGateway(client))
+	t.Cleanup(h.gw.Close)
+	h.ref = httptest.NewServer(server.New(server.Config{}).Handler())
+	t.Cleanup(h.ref.Close)
+	return h
+}
+
+func (h *chaosHarness) openNode(name string) *server.Server {
+	h.t.Helper()
+	ring, err := cluster.NewRing(h.nodeCfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	srv, err := server.Open(server.Config{
+		ClusterSelf: name,
+		ClusterRing: ring,
+		DataDir:     h.dirs[name],
+		Store:       kplist.StoreConfig{NoSync: true},
+	})
+	if err != nil {
+		h.t.Fatalf("open node %s: %v", name, err)
+	}
+	return srv
+}
+
+// killRestart SIGKILLs a member in effigy: the old server instance is
+// abandoned mid-flight (no Close, no flush — acknowledged batches must
+// survive on the strength of the WAL alone), a fresh instance recovers
+// from the same data dir, and the member's faultnet proxy is repointed
+// at the replacement listener.
+func (h *chaosHarness) killRestart(name string) {
+	h.t.Helper()
+	h.backend[name].Close() // the listener dies; the server state is never flushed
+	backend := httptest.NewServer(h.openNode(name).Handler())
+	h.backend[name] = backend
+	h.t.Cleanup(backend.Close)
+	h.proxies[name].SetBackend(backend.URL)
+}
+
+// pickID finds a deterministic graph ID with the wanted placement.
+func (h *chaosHarness) pickID(prefix string, pred func(set []cluster.Member) bool) string {
+	h.t.Helper()
+	for i := 0; i < 100000; i++ {
+		id := fmt.Sprintf("%s%05d", prefix, i)
+		if pred(h.client.Ring().ReplicaSet(id, h.nodeCfg.Replication)) {
+			return id
+		}
+	}
+	h.t.Fatalf("no ID with prefix %s satisfies the placement predicate", prefix)
+	return ""
+}
+
+// pathGraphBody is a deterministic explicit-edge register body.
+func pathGraphBody(id string, n int) []byte {
+	edges := make([][2]int, 0, n-1)
+	for u := 0; u < n-1; u++ {
+		edges = append(edges, [2]int{u, u + 1})
+	}
+	b, _ := json.Marshal(map[string]any{"id": id, "name": "conv-" + id, "n": n, "edges": edges})
+	return b
+}
+
+// register registers the body on the cluster and mirrors it to the
+// reference server.
+func (h *chaosHarness) register(ctx context.Context, id string, body []byte) int {
+	h.t.Helper()
+	resp, acks, err := h.client.RegisterRaw(ctx, id, body)
+	if err != nil {
+		h.t.Fatalf("register %s: %v", id, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		h.t.Fatalf("register %s: status %d", id, resp.StatusCode)
+	}
+	rr, err := http.Post(h.ref.URL+"/v1/graphs", "application/json", strings.NewReader(string(body)))
+	if err != nil || rr.StatusCode != http.StatusCreated {
+		h.t.Fatalf("reference register %s: %v / %d", id, err, rr.StatusCode)
+	}
+	rr.Body.Close()
+	return acks
+}
+
+// patch applies one batch through the cluster; when (and only when) the
+// owner acknowledges it, the same batch is applied to the reference
+// server. Returns whether the batch was acknowledged.
+func (h *chaosHarness) patch(ctx context.Context, id string, body []byte) bool {
+	h.t.Helper()
+	resp, _, err := h.client.PatchRaw(ctx, id, body)
+	if err != nil {
+		return false // unacked: the reference must not see it either
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	req, _ := http.NewRequest(http.MethodPatch, h.ref.URL+"/v1/graphs/"+id+"/edges", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rr, err := http.DefaultClient.Do(req)
+	if err != nil || rr.StatusCode != http.StatusOK {
+		h.t.Fatalf("reference patch %s: %v / %d", id, err, rr.StatusCode)
+	}
+	io.Copy(io.Discard, rr.Body)
+	rr.Body.Close()
+	return true
+}
+
+// digest fetches one member's version digest for one graph, straight
+// from its (proxied) listener with the cluster forward mark set.
+func (h *chaosHarness) digest(member, id string) (cluster.Digest, bool) {
+	h.t.Helper()
+	var d cluster.Digest
+	addr := ""
+	for _, m := range h.client.Ring().Members() {
+		if m.Name == member {
+			addr = m.Addr
+		}
+	}
+	req, _ := http.NewRequest(http.MethodGet, addr+"/v1/graphs/"+id+"/digest", nil)
+	req.Header.Set(cluster.ForwardHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return d, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return d, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return d, false
+	}
+	return d, true
+}
+
+// refDigest fetches the reference server's digest for one graph.
+func (h *chaosHarness) refDigest(id string) cluster.Digest {
+	h.t.Helper()
+	resp, err := http.Get(h.ref.URL + "/v1/graphs/" + id + "/digest")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d cluster.Digest
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		h.t.Fatal(err)
+	}
+	return d
+}
+
+// converged reports whether every replica's digest equals the owner's
+// for the graph.
+func (h *chaosHarness) converged(id string) bool {
+	set := h.client.Ring().ReplicaSet(id, h.nodeCfg.Replication)
+	od, ok := h.digest(set[0].Name, id)
+	if !ok {
+		return false
+	}
+	for _, m := range set[1:] {
+		rd, ok := h.digest(m.Name, id)
+		if !ok || rd.Seq != od.Seq || rd.Hash != od.Hash {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *chaosHarness) waitMember(name string, up bool) {
+	h.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.client.MemberUp(name) == up {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.t.Fatalf("member %s never became up=%v", name, up)
+}
+
+func batchBody(rng *rand.Rand, n, muts int) []byte {
+	ms := make([]map[string]any, muts)
+	for i := range ms {
+		op := "add"
+		if rng.Intn(3) == 0 {
+			op = "remove"
+		}
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		ms[i] = map[string]any{"op": op, "u": u, "v": v}
+	}
+	b, _ := json.Marshal(map[string]any{"mutations": ms})
+	return b
+}
+
+// TestHintedHandoffReplaysOnRecovery pins the handoff happy path: a
+// replica that goes dark mid-stream misses batches into its hint queue,
+// and the prober's down→up flip replays them — no full-state transfer.
+func TestHintedHandoffReplaysOnRecovery(t *testing.T) {
+	h := newChaosHarness(t, 2, 2, 101, cluster.ClientOptions{
+		RetryBackoff:   time.Millisecond,
+		ProbeInterval:  25 * time.Millisecond,
+		JitterSeed:     7,
+		HintQueueLimit: 64,
+		RepairInterval: -1, // handoff only: repairs would mask a replay bug
+	})
+	ctx := context.Background()
+	id := h.pickID("hh", func(set []cluster.Member) bool {
+		return set[0].Name == "n1" && set[1].Name == "n2"
+	})
+	if acks := h.register(ctx, id, pathGraphBody(id, 32)); acks != 1 {
+		t.Fatalf("register acks = %d, want 1", acks)
+	}
+
+	h.net.Partition("n2")
+	h.waitMember("n2", false)
+	rng := rand.New(rand.NewSource(5))
+	acked := 0
+	for i := 0; i < 5; i++ {
+		if h.patch(ctx, id, batchBody(rng, 32, 6)) {
+			acked++
+		}
+	}
+	if acked != 5 {
+		t.Fatalf("owner-only acks = %d, want 5 (owner n1 is healthy)", acked)
+	}
+	if h.converged(id) {
+		t.Fatal("replica converged while partitioned — the fabric leaked")
+	}
+
+	h.net.Heal("n2")
+	deadline := time.Now().Add(10 * time.Second)
+	for !h.converged(id) {
+		if time.Now().After(deadline) {
+			t.Fatal("replica digest never converged after heal (hinted replay)")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := h.client.Metrics().Repairs(); got != 0 {
+		t.Fatalf("replay path ran %d full-state repairs, want 0", got)
+	}
+	od, _ := h.digest("n1", id)
+	if rd := h.refDigest(id); rd.Hash != od.Hash || rd.Seq != od.Seq {
+		t.Fatalf("owner digest %+v diverged from reference %+v", od, rd)
+	}
+}
+
+// TestAntiEntropyRepairsMissedRegistration pins the sweeper: with
+// handoff disabled, a replica that misses the registration and every
+// batch is healed by one full-state transfer, adopting the owner's
+// sequence position.
+func TestAntiEntropyRepairsMissedRegistration(t *testing.T) {
+	h := newChaosHarness(t, 2, 2, 202, cluster.ClientOptions{
+		RetryBackoff:   time.Millisecond,
+		ProbeInterval:  25 * time.Millisecond,
+		JitterSeed:     7,
+		HintQueueLimit: -1, // handoff disabled: every miss marks the replica dirty
+		RepairInterval: -1,
+	})
+	ctx := context.Background()
+	id := h.pickID("ae", func(set []cluster.Member) bool {
+		return set[0].Name == "n1" && set[1].Name == "n2"
+	})
+
+	h.net.Partition("n2")
+	h.waitMember("n2", false)
+	if acks := h.register(ctx, id, pathGraphBody(id, 32)); acks != 0 {
+		t.Fatalf("register acks = %d, want 0 (replica dark)", acks)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3; i++ {
+		if !h.patch(ctx, id, batchBody(rng, 32, 6)) {
+			t.Fatal("owner patch failed with healthy owner")
+		}
+	}
+
+	h.net.Heal("n2")
+	h.waitMember("n2", true)
+	st := h.client.RepairNow(ctx)
+	if st.Diverged == 0 || st.Repaired == 0 {
+		t.Fatalf("sweep stats %+v: want at least one divergence and one repair", st)
+	}
+	if !h.converged(id) {
+		t.Fatal("replica digest still diverged after RepairNow")
+	}
+	od, _ := h.digest("n1", id)
+	rd, _ := h.digest("n2", id)
+	if rd.Seq != od.Seq {
+		t.Fatalf("repaired replica seq %d, want owner's %d (install must carry the seq floor)", rd.Seq, od.Seq)
+	}
+	if h.client.Metrics().Repairs() == 0 {
+		t.Fatal("kplistgw_repairs_total stayed 0 across a repair")
+	}
+}
+
+// TestConvergenceUnderChaosSchedule is the acceptance scenario: three
+// durable nodes; a seeded schedule drops half of one member's replica
+// applies; another member is partitioned for a third of the run and
+// SIGKILL-restarted at heal. At quiesce every replica digest must equal
+// its owner's, the cluster state must match a reference server that
+// received exactly the acknowledged batches, and the repair counters
+// must show the machinery actually ran.
+func TestConvergenceUnderChaosSchedule(t *testing.T) {
+	h := newChaosHarness(t, 3, 2, 1234, cluster.ClientOptions{
+		RetryBackoff:   time.Millisecond,
+		ProbeInterval:  25 * time.Millisecond,
+		JitterSeed:     7,
+		HintQueueLimit: 4, // small on purpose: overflow must force full-state repair
+		RepairInterval: -1,
+	})
+	ctx := context.Background()
+
+	events, err := faultnet.ParseSchedule(`
+		# half of n2's replica applies vanish for the whole run
+		@0 drop n2 0.5 path=/replica
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.net.SetSchedule(events)
+
+	// Three placements, each exercising a different failure arm:
+	// A: replica behind the lossy link (drops → hints → overflow → repair)
+	// B: owner is the partitioned member (writes fail, nothing acked)
+	// C: replica is the partitioned member (hints queue, then gap → repair)
+	idA := h.pickID("cha", func(set []cluster.Member) bool {
+		return set[0].Name == "n1" && set[1].Name == "n2"
+	})
+	idB := h.pickID("chb", func(set []cluster.Member) bool {
+		return set[0].Name == "n3"
+	})
+	idC := h.pickID("chc", func(set []cluster.Member) bool {
+		return set[0].Name != "n3" && set[1].Name == "n3"
+	})
+	ids := []string{idA, idB, idC}
+	for _, id := range ids {
+		h.register(ctx, id, pathGraphBody(id, 48))
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	acked := make(map[string]int)
+	for batch := 0; batch < 60; batch++ {
+		switch batch {
+		case 20:
+			h.net.Partition("n3")
+			h.waitMember("n3", false)
+		case 40:
+			h.killRestart("n3")
+			h.net.Heal("n3")
+			h.waitMember("n3", true)
+		}
+		id := ids[batch%3]
+		if h.patch(ctx, id, batchBody(rng, 48, 8)) {
+			acked[id]++
+		}
+	}
+	if acked[idA] != 20 || acked[idC] != 20 {
+		t.Fatalf("graphs with healthy owners lost acks: A=%d C=%d, want 20 each", acked[idA], acked[idC])
+	}
+	if acked[idB] >= 20 || acked[idB] == 0 {
+		t.Fatalf("partitioned-owner graph acked %d of 20 batches, want some but not all", acked[idB])
+	}
+
+	// Quiesce: heal every fault, then sweep until every digest converges.
+	h.net.Heal("*")
+	for _, name := range h.names {
+		h.waitMember(name, true)
+	}
+	allConverged := func() bool {
+		for _, id := range ids {
+			if !h.converged(id) {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !allConverged() {
+		if time.Now().After(deadline) {
+			t.Fatal("digests never converged at quiesce")
+		}
+		h.client.RepairNow(ctx)
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Zero acknowledged-write loss (and no phantom writes): each owner's
+	// digest and truth stream match a reference that saw exactly the
+	// acknowledged batches. B additionally proves the kill-restart kept
+	// every batch acked before the partition.
+	for _, id := range ids {
+		set := h.client.Ring().ReplicaSet(id, 2)
+		od, ok := h.digest(set[0].Name, id)
+		if !ok {
+			t.Fatalf("owner digest for %s unavailable at quiesce", id)
+		}
+		if rd := h.refDigest(id); rd.Hash != od.Hash || rd.Seq != od.Seq {
+			t.Fatalf("graph %s: owner digest %+v != reference %+v — acked-batch mismatch", id, od, rd)
+		}
+		want := stream(t, h.ref.URL, id, 3, "&algo=truth&order=lex")
+		if got := stream(t, h.gw.URL, id, 3, "&algo=truth&order=lex"); got != want {
+			t.Fatalf("graph %s: cluster truth stream differs from reference", id)
+		}
+	}
+
+	// The fabric must have actually bitten, and the healing machinery
+	// must have actually run.
+	stats := h.net.Stats()
+	if stats.Drops < 4 {
+		t.Fatalf("fabric dropped only %d replica applies — the schedule did not bite", stats.Drops)
+	}
+	if stats.Blackhole == 0 {
+		t.Fatal("partition never blackholed a request")
+	}
+	if h.client.Metrics().Repairs() == 0 {
+		t.Fatal("kplistgw_repairs_total stayed 0 across the chaos run")
+	}
+
+	// The gateway /metrics surface exposes the self-healing counters.
+	resp, err := http.Get(h.gw.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(raw)
+	for _, want := range []string{
+		"kplistgw_hints_queued_total",
+		"kplistgw_hints_replayed_total",
+		"kplistgw_divergence_detected_total",
+		"kplistgw_repairs_total",
+		"kplistgw_antientropy_sweeps_total",
+		"kplistgw_hint_queue_depth",
+		"kplistgw_dirty_replicas 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("gateway /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, "kplistgw_repairs_total 0\n") {
+		t.Fatal("metrics text reports zero repairs despite Repairs() > 0")
+	}
+}

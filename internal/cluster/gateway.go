@@ -38,6 +38,7 @@ func NewGateway(c *Client) *Gateway {
 	gw.mux.HandleFunc("POST /v1/graphs/{id}/query", gw.handleQuery)
 	gw.mux.HandleFunc("GET /v1/graphs/{id}/cliques", gw.handleCliques)
 	gw.mux.HandleFunc("PATCH /v1/graphs/{id}/edges", gw.handlePatch)
+	gw.mux.HandleFunc("GET /v1/graphs/{id}/digest", gw.handleDigest)
 	return gw
 }
 
@@ -240,6 +241,20 @@ func (gw *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	relay(w, resp)
 }
 
+// handleDigest relays a graph's version digest (owner-preferred, with
+// the usual read failover). Operators diff it across members to check
+// replica convergence by hand; the sweeper does the same comparison
+// internally.
+func (gw *Gateway) handleDigest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	resp, _, err := gw.c.doRead(r.Context(), id, http.MethodGet, "/v1/graphs/"+id+"/digest", nil)
+	if err != nil {
+		gwError(w, http.StatusBadGateway, err)
+		return
+	}
+	relay(w, resp)
+}
+
 func (gw *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if pg := gw.c.partitionedGraph(id); pg != nil {
@@ -367,7 +382,7 @@ func (gw *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			if up {
-				gw.c.healthOf(m.Name).markUp()
+				gw.c.noteUp(m.Name)
 			} else {
 				gw.c.healthOf(m.Name).markDown()
 			}
@@ -407,6 +422,7 @@ func (gw *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"kplistgw_ring_vnodes":        float64(gw.c.cfg.VNodes * len(gw.c.cfg.Members)),
 		"kplistgw_ring_replication":   float64(gw.c.cfg.Replication),
 		"kplistgw_partitioned_graphs": float64(len(gw.c.PartitionedIDs())),
+		"kplistgw_dirty_replicas":     float64(gw.c.hints.dirtyCount()),
 	}
 	for _, m := range gw.c.ring.Members() {
 		v := 0.0
@@ -414,6 +430,8 @@ func (gw *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			v = 1
 		}
 		gauges[fmt.Sprintf("kplistgw_member_up{member=%q}", m.Name)] = v
+		gauges[fmt.Sprintf("kplistgw_hint_queue_depth{member=%q}", m.Name)] =
+			float64(gw.c.hints.depth(m.Name))
 	}
 	var b strings.Builder
 	gw.c.met.Render(&b, gauges)

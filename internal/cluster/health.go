@@ -27,11 +27,16 @@ func newMemberHealth() *memberHealth {
 	return h
 }
 
-func (h *memberHealth) markUp() {
+// markUp records a healthy observation and reports whether this was a
+// down→up transition — the Client uses the flip to kick hinted-handoff
+// replay exactly once per recovery.
+func (h *memberHealth) markUp() bool {
 	h.consecFails.Store(0)
 	if !h.up.Swap(true) {
 		h.transitionNs.Store(time.Now().UnixNano())
+		return true
 	}
+	return false
 }
 
 func (h *memberHealth) markDown() {
@@ -52,21 +57,24 @@ type prober struct {
 	done     sync.WaitGroup
 }
 
-// start launches the probe loop; stop with prober.stop.
+// start launches the probe loop; stop with prober.stop. Each pass sleeps
+// a jittered interval drawn from the client's seeded RNG, so a fleet of
+// gateways probing the same members drifts apart instead of hammering
+// them in lockstep.
 func (p *prober) start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	p.cancel = cancel
 	p.done.Add(1)
 	go func() {
 		defer p.done.Done()
-		ticker := time.NewTicker(p.interval)
-		defer ticker.Stop()
 		p.probeAll(ctx) // immediate first pass: don't serve blind for a tick
 		for {
+			t := time.NewTimer(p.c.jittered(p.interval))
 			select {
 			case <-ctx.Done():
+				t.Stop()
 				return
-			case <-ticker.C:
+			case <-t.C:
 				p.probeAll(ctx)
 			}
 		}
@@ -80,20 +88,27 @@ func (p *prober) stop() {
 	}
 }
 
+// probeBackoff is the wait a down member must sit out between probes:
+// 2^fails · interval, capped at 8 intervals. A dead member then costs
+// one cheap connection attempt per backoff window instead of one per
+// interval.
+func probeBackoff(interval time.Duration, fails int64) time.Duration {
+	backoff := interval << min64(fails, 3)
+	if maxBackoff := 8 * interval; backoff > maxBackoff {
+		backoff = maxBackoff
+	}
+	return backoff
+}
+
 // probeAll checks every member once, skipping down members still inside
-// their backoff window (2^fails · interval, capped at 8 intervals).
+// their backoff window.
 func (p *prober) probeAll(ctx context.Context) {
 	now := time.Now().UnixNano()
 	var wg sync.WaitGroup
 	for _, m := range p.c.ring.Members() {
 		h := p.c.healthOf(m.Name)
 		if !h.up.Load() {
-			fails := h.consecFails.Load()
-			backoff := p.interval << min64(fails, 3)
-			if maxBackoff := 8 * p.interval; backoff > maxBackoff {
-				backoff = maxBackoff
-			}
-			if now-h.lastProbeNs.Load() < int64(backoff) {
+			if now-h.lastProbeNs.Load() < int64(probeBackoff(p.interval, h.consecFails.Load())) {
 				continue
 			}
 		}
@@ -124,7 +139,7 @@ func (p *prober) probeOne(ctx context.Context, m Member) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
-		h.markUp()
+		p.c.noteUp(m.Name)
 	} else {
 		h.markDown()
 	}

@@ -1,0 +1,208 @@
+package cluster
+
+// S4: the health prober's state machine — down → backoff → probe → up —
+// plus the backoff cap and the early up-flip on a successful forwarded
+// request. These are internal tests: they drive memberHealth, prober,
+// and Client.forward directly.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProbeBackoffDoublesAndCaps(t *testing.T) {
+	interval := 100 * time.Millisecond
+	for _, tc := range []struct {
+		fails int64
+		want  time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{2, 400 * time.Millisecond},
+		{3, 800 * time.Millisecond},
+		{4, 800 * time.Millisecond},  // capped at 8× interval
+		{50, 800 * time.Millisecond}, // shift is clamped, no overflow
+	} {
+		if got := probeBackoff(interval, tc.fails); got != tc.want {
+			t.Errorf("probeBackoff(%v, %d) = %v, want %v", interval, tc.fails, got, tc.want)
+		}
+	}
+}
+
+func TestMarkUpReportsOnlyTransitions(t *testing.T) {
+	h := newMemberHealth()
+	if h.markUp() {
+		t.Fatal("markUp on an already-up member reported a flip")
+	}
+	h.markDown()
+	h.markDown()
+	if h.consecFails.Load() != 2 {
+		t.Fatalf("consecFails = %d, want 2", h.consecFails.Load())
+	}
+	if !h.markUp() {
+		t.Fatal("markUp after markDown did not report the down→up flip")
+	}
+	if h.consecFails.Load() != 0 {
+		t.Fatal("markUp did not reset consecFails")
+	}
+	if h.markUp() {
+		t.Fatal("second markUp reported a second flip")
+	}
+}
+
+// toggleServer is a /healthz endpoint whose verdict flips on demand.
+type toggleServer struct {
+	ok atomic.Bool
+	ts *httptest.Server
+}
+
+func newToggleServer(t *testing.T) *toggleServer {
+	t.Helper()
+	s := &toggleServer{}
+	s.ok.Store(true)
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if s.ok.Load() {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func newHealthTestClient(t *testing.T, addr string, probeInterval time.Duration) *Client {
+	t.Helper()
+	c, err := NewClient(
+		Config{Members: []Member{{Name: "n1", Addr: addr}}, Replication: 1},
+		ClientOptions{ProbeInterval: probeInterval, JitterSeed: 3, RepairInterval: -1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestProberStateMachine walks one member through up → down → backoff →
+// probe → up using direct probeAll passes (no timers, no sleep-races).
+func TestProberStateMachine(t *testing.T) {
+	srv := newToggleServer(t)
+	c := newHealthTestClient(t, srv.ts.URL, 40*time.Millisecond)
+	ctx := context.Background()
+
+	c.pr.probeAll(ctx)
+	if !c.MemberUp("n1") {
+		t.Fatal("healthy member not up after first probe pass")
+	}
+
+	srv.ok.Store(false)
+	c.pr.probeAll(ctx)
+	if c.MemberUp("n1") {
+		t.Fatal("failing member still up after probe pass")
+	}
+	fails := c.healthOf("n1").consecFails.Load()
+	if fails == 0 {
+		t.Fatal("markDown did not count the failure")
+	}
+
+	// Inside the backoff window the member is not re-probed: the verdict
+	// (and the failure count) must not move even though the server has
+	// recovered.
+	srv.ok.Store(true)
+	c.pr.probeAll(ctx)
+	if c.MemberUp("n1") {
+		t.Fatal("member re-probed inside its backoff window")
+	}
+
+	// Age the last probe past the backoff and the next pass flips it up.
+	backoff := probeBackoff(c.pr.interval, c.healthOf("n1").consecFails.Load())
+	c.healthOf("n1").lastProbeNs.Store(time.Now().Add(-backoff - time.Millisecond).UnixNano())
+	c.pr.probeAll(ctx)
+	if !c.MemberUp("n1") {
+		t.Fatal("recovered member not up after post-backoff probe")
+	}
+	if c.healthOf("n1").consecFails.Load() != 0 {
+		t.Fatal("up-flip did not reset the failure count")
+	}
+}
+
+// TestForwardedSuccessFlipsUpEarly pins the fast path: a down-marked
+// member that answers a forwarded request flips up immediately, without
+// waiting out a probe window.
+func TestForwardedSuccessFlipsUpEarly(t *testing.T) {
+	srv := newToggleServer(t)
+	// An hour-long probe interval: only a forwarded request can flip state.
+	c := newHealthTestClient(t, srv.ts.URL, time.Hour)
+	c.healthOf("n1").markDown()
+	if c.MemberUp("n1") {
+		t.Fatal("markDown did not take")
+	}
+	resp, err := c.forward(context.Background(), Member{Name: "n1", Addr: srv.ts.URL},
+		http.MethodGet, "/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if !c.MemberUp("n1") {
+		t.Fatal("successful forwarded request did not flip the member up")
+	}
+}
+
+// TestForwarded4xxStillFlipsUp pins the "a 4xx is the member answering,
+// not dying" rule, and that a 5xx marks it down.
+func TestForwardedStatusHealthRules(t *testing.T) {
+	codes := make(chan int, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(<-codes)
+	}))
+	t.Cleanup(ts.Close)
+	c := newHealthTestClient(t, ts.URL, time.Hour)
+	m := Member{Name: "n1", Addr: ts.URL}
+
+	c.healthOf("n1").markDown()
+	codes <- http.StatusNotFound
+	resp, err := c.forward(context.Background(), m, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if !c.MemberUp("n1") {
+		t.Fatal("4xx answer left the member down")
+	}
+
+	codes <- http.StatusInternalServerError
+	resp, err = c.forward(context.Background(), m, http.MethodGet, "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(resp)
+	if c.MemberUp("n1") {
+		t.Fatal("5xx answer left the member up")
+	}
+}
+
+func TestJitteredStaysInHalfToThreeHalves(t *testing.T) {
+	c := newHealthTestClient(t, "http://127.0.0.1:1", time.Hour)
+	d := 100 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		j := c.jittered(d)
+		if j < d/2 || j >= d*3/2 {
+			t.Fatalf("jittered(%v) = %v outside [d/2, 3d/2)", d, j)
+		}
+	}
+	if c.jittered(0) != 0 {
+		t.Fatal("jittered(0) != 0")
+	}
+	// Same seed → same sequence (determinism is the point of seeding).
+	a := newHealthTestClient(t, "http://127.0.0.1:1", time.Hour)
+	b := newHealthTestClient(t, "http://127.0.0.1:1", time.Hour)
+	for i := 0; i < 32; i++ {
+		if a.jittered(d) != b.jittered(d) {
+			t.Fatal("identically-seeded clients produced different jitter")
+		}
+	}
+}

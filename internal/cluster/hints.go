@@ -1,0 +1,200 @@
+package cluster
+
+import "sync"
+
+// hint is one sequence-tagged mutation batch waiting for a member to come
+// back: the replica-apply body plus the owner-assigned sequence number the
+// replica will be told to apply it at.
+type hint struct {
+	graph string
+	seq   uint64
+	body  []byte
+}
+
+// hintSet is the hinted-handoff state: one bounded FIFO of hints per
+// member, plus the set of (member, graph) replicas marked dirty — beyond
+// replay (overflowed queue, refused apply, failed registration) and
+// waiting for the anti-entropy sweeper's full-state transfer. Queues
+// preserve owner order per graph because every enqueue happens under the
+// graph's fan-out lock and replay pops under the same lock.
+type hintSet struct {
+	mu        sync.Mutex
+	limit     int
+	queues    map[string][]hint          // member → FIFO
+	dirty     map[string]map[string]bool // member → graph → true
+	replaying map[string]bool            // member → a replay loop is active
+}
+
+func newHintSet(limit int) *hintSet {
+	return &hintSet{
+		limit:     limit,
+		queues:    make(map[string][]hint),
+		dirty:     make(map[string]map[string]bool),
+		replaying: make(map[string]bool),
+	}
+}
+
+// enqueue appends h to member's queue, reporting false on overflow (the
+// queue keeps what it already holds — an overflowed graph goes dirty and
+// its queued prefix is still worth replaying).
+func (s *hintSet) enqueue(member string, h hint) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queues[member]) >= s.limit {
+		return false
+	}
+	s.queues[member] = append(s.queues[member], h)
+	return true
+}
+
+// front peeks member's oldest hint without removing it.
+func (s *hintSet) front(member string) (hint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[member]
+	if len(q) == 0 {
+		return hint{}, false
+	}
+	return q[0], true
+}
+
+// pop removes member's oldest hint.
+func (s *hintSet) pop(member string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.queues[member]; len(q) > 0 {
+		s.queues[member] = q[1:]
+	}
+}
+
+// depth returns how many hints member has queued.
+func (s *hintSet) depth(member string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queues[member])
+}
+
+// depths snapshots every member's queue depth (the /metrics gauges).
+func (s *hintSet) depths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.queues))
+	for m, q := range s.queues {
+		out[m] = len(q)
+	}
+	return out
+}
+
+// pendingGraph counts member's queued hints for one graph — a fan-out
+// must queue behind them or batches would reach the replica out of order.
+func (s *hintSet) pendingGraph(member, graph string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, h := range s.queues[member] {
+		if h.graph == graph {
+			n++
+		}
+	}
+	return n
+}
+
+// purgeGraph drops member's hints for one graph (a full-state transfer
+// subsumed them, or the graph was deleted).
+func (s *hintSet) purgeGraph(member, graph string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[member]
+	kept := q[:0]
+	for _, h := range q {
+		if h.graph != graph {
+			kept = append(kept, h)
+		}
+	}
+	s.queues[member] = kept
+}
+
+// purgeAll drops the graph's hints and dirty marks on every member
+// (cluster-wide delete).
+func (s *hintSet) purgeAll(graph string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for member, q := range s.queues {
+		kept := q[:0]
+		for _, h := range q {
+			if h.graph != graph {
+				kept = append(kept, h)
+			}
+		}
+		s.queues[member] = kept
+	}
+	for _, graphs := range s.dirty {
+		delete(graphs, graph)
+	}
+}
+
+// markDirty flags (member, graph) for full-state repair, reporting
+// whether the mark is new.
+func (s *hintSet) markDirty(member, graph string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.dirty[member]
+	if g == nil {
+		g = make(map[string]bool)
+		s.dirty[member] = g
+	}
+	if g[graph] {
+		return false
+	}
+	g[graph] = true
+	return true
+}
+
+// isDirty reports whether (member, graph) is flagged for repair.
+func (s *hintSet) isDirty(member, graph string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirty[member][graph]
+}
+
+// clearDirty removes the repair flag, reporting whether it was set.
+func (s *hintSet) clearDirty(member, graph string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.dirty[member]
+	if !g[graph] {
+		return false
+	}
+	delete(g, graph)
+	return true
+}
+
+// dirtyCount returns how many (member, graph) replicas await repair.
+func (s *hintSet) dirtyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, graphs := range s.dirty {
+		n += len(graphs)
+	}
+	return n
+}
+
+// beginReplay claims member's replay slot; endReplay releases it. One
+// replay loop per member at a time — concurrent replays would race the
+// FIFO order the whole scheme exists to preserve.
+func (s *hintSet) beginReplay(member string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replaying[member] {
+		return false
+	}
+	s.replaying[member] = true
+	return true
+}
+
+func (s *hintSet) endReplay(member string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.replaying, member)
+}

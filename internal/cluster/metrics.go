@@ -54,6 +54,17 @@ type Metrics struct {
 	scatterRequests int64 // scatter–gather listings served
 	scatterLines    int64 // merged NDJSON lines across all scatters
 	misdirected     int64 // requests refused because no candidate answered
+
+	// Self-healing replication counters (DESIGN.md §13).
+	hintsQueued       int64 // batches queued for a downed replica
+	hintsReplayed     int64 // queued batches delivered after recovery
+	hintsDropped      int64 // batches lost to queue overflow (replica went dirty)
+	divergence        int64 // (replica, graph) pairs newly detected out of sync
+	repairs           int64 // full-state transfers completed
+	repairFailures    int64 // full-state transfers that did not complete
+	sweeps            int64 // anti-entropy sweep passes
+	notFoundReprobes  int64 // 404 reads re-probed on the same member
+	notFoundRecovered int64 // re-probes that got a non-404 answer
 }
 
 // NewMetrics returns an empty metrics store.
@@ -80,6 +91,31 @@ func (m *Metrics) addRetry()         { m.mu.Lock(); m.retries++; m.mu.Unlock() }
 func (m *Metrics) addReplicaAck()    { m.mu.Lock(); m.replicaAcks++; m.mu.Unlock() }
 func (m *Metrics) addReplicaFailed() { m.mu.Lock(); m.replicaFailures++; m.mu.Unlock() }
 func (m *Metrics) addMisdirected()   { m.mu.Lock(); m.misdirected++; m.mu.Unlock() }
+
+func (m *Metrics) addHintQueued()        { m.mu.Lock(); m.hintsQueued++; m.mu.Unlock() }
+func (m *Metrics) addHintReplayed()      { m.mu.Lock(); m.hintsReplayed++; m.mu.Unlock() }
+func (m *Metrics) addHintDropped()       { m.mu.Lock(); m.hintsDropped++; m.mu.Unlock() }
+func (m *Metrics) addDivergence()        { m.mu.Lock(); m.divergence++; m.mu.Unlock() }
+func (m *Metrics) addRepair()            { m.mu.Lock(); m.repairs++; m.mu.Unlock() }
+func (m *Metrics) addRepairFailure()     { m.mu.Lock(); m.repairFailures++; m.mu.Unlock() }
+func (m *Metrics) addSweep()             { m.mu.Lock(); m.sweeps++; m.mu.Unlock() }
+func (m *Metrics) addNotFoundReprobe()   { m.mu.Lock(); m.notFoundReprobes++; m.mu.Unlock() }
+func (m *Metrics) addNotFoundRecovered() { m.mu.Lock(); m.notFoundRecovered++; m.mu.Unlock() }
+
+// Repairs returns the cumulative completed full-state transfers (tests
+// and the convergence harness assert on it).
+func (m *Metrics) Repairs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repairs
+}
+
+// HintsDropped returns the cumulative overflow drops.
+func (m *Metrics) HintsDropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hintsDropped
+}
 
 func (m *Metrics) addScatter(lines int64) {
 	m.mu.Lock()
@@ -169,6 +205,15 @@ func (m *Metrics) Render(w *strings.Builder, gauges map[string]float64) {
 		{"kplistgw_scatter_requests_total", m.scatterRequests},
 		{"kplistgw_scatter_merged_lines_total", m.scatterLines},
 		{"kplistgw_unroutable_total", m.misdirected},
+		{"kplistgw_hints_queued_total", m.hintsQueued},
+		{"kplistgw_hints_replayed_total", m.hintsReplayed},
+		{"kplistgw_hints_dropped_total", m.hintsDropped},
+		{"kplistgw_divergence_detected_total", m.divergence},
+		{"kplistgw_repairs_total", m.repairs},
+		{"kplistgw_repair_failures_total", m.repairFailures},
+		{"kplistgw_antientropy_sweeps_total", m.sweeps},
+		{"kplistgw_notfound_reprobes_total", m.notFoundReprobes},
+		{"kplistgw_notfound_reprobes_recovered_total", m.notFoundRecovered},
 	} {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
 	}

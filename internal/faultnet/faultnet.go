@@ -1,0 +1,283 @@
+// Package faultnet is a deterministic fault-injection fabric for cluster
+// tests (DESIGN.md §13): each member's HTTP endpoint is wrapped in a
+// chaos proxy that can drop connections, delay requests, inject 500s, or
+// blackhole the member entirely (partition). Faults are driven two ways —
+// imperatively from test code, or declaratively by a schedule of events
+// keyed to the fabric's global request counter ("at the 40th request,
+// partition n3"). All randomness comes from per-proxy RNGs seeded from
+// the fabric seed and the member name, so a given seed yields the same
+// drop decisions request-for-request; schedules keyed to the request
+// counter make the fault timeline itself reproducible.
+//
+// A dropped or partitioned request aborts the connection *before*
+// reaching the backend, so from the cluster's point of view an unacked
+// request is also an unapplied one — the invariant the convergence suite
+// leans on when it asserts zero acknowledged-write loss.
+package faultnet
+
+import (
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of what the fabric has done so far.
+type Stats struct {
+	Requests  uint64 // requests that entered any proxy
+	Drops     uint64 // connections aborted by drop faults
+	Blackhole uint64 // connections aborted by partitions
+	Injected  uint64 // 500s fabricated without reaching the backend
+	Delayed   uint64 // requests that sat out a delay fault
+}
+
+// Net is one fault-injection fabric: a set of named chaos proxies
+// sharing a seed, a global request counter, and an event schedule.
+type Net struct {
+	seed int64
+	hc   *http.Client
+
+	reqs      atomic.Uint64
+	drops     atomic.Uint64
+	blackhole atomic.Uint64
+	injected  atomic.Uint64
+	delayed   atomic.Uint64
+
+	mu      sync.Mutex
+	proxies map[string]*Proxy
+	sched   []Event
+	next    int // first unfired schedule event
+}
+
+// New builds an empty fabric. The seed determines every probabilistic
+// fault decision the fabric will ever make.
+func New(seed int64) *Net {
+	return &Net{
+		seed:    seed,
+		hc:      &http.Client{},
+		proxies: make(map[string]*Proxy),
+	}
+}
+
+// Proxy registers (or returns) the chaos proxy named name fronting the
+// backend URL. The returned value is an http.Handler — mount it in an
+// httptest.Server and hand that server's URL to the cluster membership.
+func (n *Net) Proxy(name, backend string) *Proxy {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.proxies[name]; ok {
+		p.SetBackend(backend)
+		return p
+	}
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, name)
+	p := &Proxy{
+		net:  n,
+		name: name,
+		rng:  rand.New(rand.NewSource(n.seed ^ int64(h.Sum64()))),
+	}
+	p.backend.Store(backend)
+	n.proxies[name] = p
+	return p
+}
+
+// SetSchedule installs the declarative fault timeline. Events must be
+// sorted by At (ParseSchedule guarantees it); each fires once, when the
+// global request counter reaches its position.
+func (n *Net) SetSchedule(events []Event) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sched = events
+	n.next = 0
+}
+
+// Stats snapshots the fabric counters.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Requests:  n.reqs.Load(),
+		Drops:     n.drops.Load(),
+		Blackhole: n.blackhole.Load(),
+		Injected:  n.injected.Load(),
+		Delayed:   n.delayed.Load(),
+	}
+}
+
+// Drop sets member's drop fault: abort a fraction p of requests whose
+// path contains pathSub (empty matches all). p = 0 clears the fault.
+func (n *Net) Drop(member string, p float64, pathSub string) {
+	n.apply(Event{Verb: "drop", Member: member, P: p, Path: pathSub})
+}
+
+// Inject500 sets member's 500-injection fault, same matching rules.
+func (n *Net) Inject500(member string, p float64, pathSub string) {
+	n.apply(Event{Verb: "inject500", Member: member, P: p, Path: pathSub})
+}
+
+// Delay makes matching requests to member sit out d before forwarding.
+func (n *Net) Delay(member string, d time.Duration, pathSub string) {
+	n.apply(Event{Verb: "delay", Member: member, Delay: d, Path: pathSub})
+}
+
+// Partition blackholes member: every connection aborts without reaching
+// the backend, exactly like a network partition or a SIGKILLed process.
+func (n *Net) Partition(member string) {
+	n.apply(Event{Verb: "partition", Member: member})
+}
+
+// Heal clears every fault on member ("*" heals the whole fabric).
+func (n *Net) Heal(member string) {
+	n.apply(Event{Verb: "heal", Member: member})
+}
+
+// apply executes one event against the fabric.
+func (n *Net) apply(ev Event) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for name, p := range n.proxies {
+		if ev.Member != "*" && ev.Member != name {
+			continue
+		}
+		p.apply(ev)
+	}
+}
+
+// admit counts one request in and fires any schedule events whose
+// position has arrived. Returns the request's global sequence number.
+func (n *Net) admit() uint64 {
+	c := n.reqs.Add(1)
+	n.mu.Lock()
+	for n.next < len(n.sched) && n.sched[n.next].At <= c {
+		ev := n.sched[n.next]
+		n.next++
+		for name, p := range n.proxies {
+			if ev.Member != "*" && ev.Member != name {
+				continue
+			}
+			p.apply(ev)
+		}
+	}
+	n.mu.Unlock()
+	return c
+}
+
+// faults is one proxy's current fault configuration.
+type faults struct {
+	partitioned bool
+	dropP       float64
+	dropPath    string
+	injectP     float64
+	injectPath  string
+	delay       time.Duration
+	delayPath   string
+}
+
+// Proxy is one member's chaos front: a transparent reverse proxy that
+// consults its fault configuration before every forward.
+type Proxy struct {
+	net     *Net
+	name    string
+	backend atomic.Value // string: the real member's base URL
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	f   faults
+}
+
+// SetBackend repoints the proxy at a new backend URL — the kill-restart
+// move: stop the old member, start its replacement on a fresh listener,
+// and swap the address while the proxy (the member's stable identity in
+// the ring) stays put.
+func (p *Proxy) SetBackend(url string) { p.backend.Store(url) }
+
+// Name returns the member name the proxy fronts.
+func (p *Proxy) Name() string { return p.name }
+
+func (p *Proxy) apply(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Verb {
+	case "drop":
+		p.f.dropP, p.f.dropPath = ev.P, ev.Path
+	case "inject500":
+		p.f.injectP, p.f.injectPath = ev.P, ev.Path
+	case "delay":
+		p.f.delay, p.f.delayPath = ev.Delay, ev.Path
+	case "partition":
+		p.f.partitioned = true
+	case "heal":
+		p.f = faults{}
+	}
+}
+
+// decide evaluates the fault configuration for one request path,
+// drawing from the seeded RNG under the lock so the draw sequence is a
+// pure function of the seed and the order requests reach this proxy.
+func (p *Proxy) decide(path string) (verdict string, delay time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.f.partitioned:
+		return "blackhole", 0
+	case p.f.dropP > 0 && strings.Contains(path, p.f.dropPath) && p.rng.Float64() < p.f.dropP:
+		return "drop", 0
+	case p.f.injectP > 0 && strings.Contains(path, p.f.injectPath) && p.rng.Float64() < p.f.injectP:
+		return "inject500", 0
+	case p.f.delay > 0 && strings.Contains(path, p.f.delayPath):
+		return "delay", p.f.delay
+	}
+	return "", 0
+}
+
+// ServeHTTP runs the request through the fault gauntlet and, if it
+// survives, forwards it to the backend verbatim. Drop and blackhole
+// abort the connection (http.ErrAbortHandler) before the backend sees
+// anything, so the client observes a transport error and the member
+// observes nothing.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.net.admit()
+	verdict, delay := p.decide(r.URL.Path)
+	switch verdict {
+	case "blackhole":
+		p.net.blackhole.Add(1)
+		panic(http.ErrAbortHandler)
+	case "drop":
+		p.net.drops.Add(1)
+		panic(http.ErrAbortHandler)
+	case "inject500":
+		p.net.injected.Add(1)
+		http.Error(w, "faultnet: injected failure", http.StatusInternalServerError)
+		return
+	case "delay":
+		p.net.delayed.Add(1)
+		select {
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		case <-time.After(delay):
+		}
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.backend.Load().(string)+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.net.hc.Do(req)
+	if err != nil {
+		// Backend gone (killed between heal and restart): surface the same
+		// connection abort a real dead process would.
+		panic(http.ErrAbortHandler)
+	}
+	defer resp.Body.Close()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

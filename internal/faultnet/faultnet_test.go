@@ -1,0 +1,273 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns an httptest server answering 200 "ok:<path>" plus the
+// proxied member wrapped around it.
+func newFabricMember(t *testing.T, n *Net, name string) (*Proxy, *httptest.Server) {
+	t.Helper()
+	be := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok:%s", r.URL.Path)
+	}))
+	t.Cleanup(be.Close)
+	p := n.Proxy(name, be.URL)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front
+}
+
+// testClient disables keep-alives: a GET aborted on a reused connection
+// would otherwise be retried transparently by net/http, consuming an
+// extra request count and skewing the schedule-position assertions.
+var testClient = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+func get(t *testing.T, url string) (int, string, error) {
+	t.Helper()
+	resp, err := testClient.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), nil
+}
+
+func TestProxyForwardsVerbatim(t *testing.T) {
+	n := New(1)
+	_, front := newFabricMember(t, n, "n1")
+	status, body, err := get(t, front.URL+"/v1/graphs/g1")
+	if err != nil {
+		t.Fatalf("healthy proxy errored: %v", err)
+	}
+	if status != http.StatusOK || body != "ok:/v1/graphs/g1" {
+		t.Fatalf("got %d %q", status, body)
+	}
+	if st := n.Stats(); st.Requests != 1 || st.Drops != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(1)
+	_, front := newFabricMember(t, n, "n1")
+	n.Partition("n1")
+	if _, _, err := get(t, front.URL+"/x"); err == nil {
+		t.Fatal("partitioned member answered")
+	}
+	if st := n.Stats(); st.Blackhole != 1 {
+		t.Fatalf("blackhole count = %d, want 1", st.Blackhole)
+	}
+	n.Heal("n1")
+	if _, _, err := get(t, front.URL+"/x"); err != nil {
+		t.Fatalf("healed member still dark: %v", err)
+	}
+}
+
+func TestDropIsSeededAndDeterministic(t *testing.T) {
+	outcomes := func(seed int64) string {
+		n := New(seed)
+		_, front := newFabricMember(t, n, "n1")
+		n.Drop("n1", 0.5, "")
+		var b strings.Builder
+		for i := 0; i < 32; i++ {
+			if _, _, err := get(t, front.URL+"/x"); err != nil {
+				b.WriteByte('D')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := outcomes(42), outcomes(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "D") || !strings.Contains(a, ".") {
+		t.Fatalf("p=0.5 over 32 requests should mix drops and passes: %s", a)
+	}
+	if c := outcomes(7); c == a {
+		t.Fatalf("different seeds produced identical outcome sequences: %s", c)
+	}
+}
+
+func TestDropPathFilter(t *testing.T) {
+	n := New(1)
+	_, front := newFabricMember(t, n, "n1")
+	n.Drop("n1", 1.0, "/replica")
+	if _, _, err := get(t, front.URL+"/v1/graphs/g1/replica"); err == nil {
+		t.Fatal("matching path survived a p=1 drop")
+	}
+	if _, _, err := get(t, front.URL+"/v1/graphs/g1/edges"); err != nil {
+		t.Fatalf("non-matching path dropped: %v", err)
+	}
+	if st := n.Stats(); st.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", st.Drops)
+	}
+}
+
+func TestInject500(t *testing.T) {
+	n := New(1)
+	_, front := newFabricMember(t, n, "n1")
+	n.Inject500("n1", 1.0, "")
+	status, _, err := get(t, front.URL+"/x")
+	if err != nil || status != http.StatusInternalServerError {
+		t.Fatalf("got %d, %v; want 500", status, err)
+	}
+	if st := n.Stats(); st.Injected != 1 {
+		t.Fatalf("injected = %d, want 1", st.Injected)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	n := New(1)
+	_, front := newFabricMember(t, n, "n1")
+	n.Delay("n1", 30*time.Millisecond, "")
+	start := time.Now()
+	if _, _, err := get(t, front.URL+"/x"); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, before the 30ms delay", elapsed)
+	}
+	if st := n.Stats(); st.Delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", st.Delayed)
+	}
+}
+
+func TestSetBackendSwap(t *testing.T) {
+	n := New(1)
+	p, front := newFabricMember(t, n, "n1")
+	be2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "second")
+	}))
+	defer be2.Close()
+	p.SetBackend(be2.URL)
+	_, body, err := get(t, front.URL+"/x")
+	if err != nil || body != "second" {
+		t.Fatalf("after swap got %q, %v", body, err)
+	}
+	if p.Name() != "n1" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+}
+
+func TestDeadBackendAbortsConnection(t *testing.T) {
+	n := New(1)
+	p, front := newFabricMember(t, n, "n1")
+	p.SetBackend("http://127.0.0.1:1") // nothing listens there
+	if _, _, err := get(t, front.URL+"/x"); err == nil {
+		t.Fatal("dead backend answered")
+	}
+}
+
+func TestScheduleFiresAtRequestCount(t *testing.T) {
+	n := New(1)
+	_, front := newFabricMember(t, n, "n1")
+	events, err := ParseSchedule(`
+		# partition at the 3rd request, heal at the 5th
+		@3 partition n1
+		@5 heal n1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetSchedule(events)
+	var outcome []bool
+	for i := 0; i < 6; i++ {
+		_, _, err := get(t, front.URL+"/x")
+		outcome = append(outcome, err == nil)
+	}
+	// Requests 1–2 pass; 3 admits, fires the partition, and dies; 4 dies;
+	// 5 admits, fires the heal, and passes; 6 passes.
+	want := []bool{true, true, false, false, true, true}
+	for i := range want {
+		if outcome[i] != want[i] {
+			t.Fatalf("request %d: pass=%v, want %v (all: %v)", i+1, outcome[i], want[i], outcome)
+		}
+	}
+}
+
+func TestScheduleWildcardMember(t *testing.T) {
+	n := New(1)
+	_, f1 := newFabricMember(t, n, "n1")
+	_, f2 := newFabricMember(t, n, "n2")
+	n.Partition("*")
+	if _, _, err := get(t, f1.URL+"/x"); err == nil {
+		t.Fatal("n1 survived a wildcard partition")
+	}
+	if _, _, err := get(t, f2.URL+"/x"); err == nil {
+		t.Fatal("n2 survived a wildcard partition")
+	}
+	n.Heal("*")
+	if _, _, err := get(t, f1.URL+"/x"); err != nil {
+		t.Fatalf("n1 still dark after wildcard heal: %v", err)
+	}
+}
+
+func TestProxyReRegisterKeepsState(t *testing.T) {
+	n := New(1)
+	p1, _ := newFabricMember(t, n, "n1")
+	p2 := n.Proxy("n1", "http://example.invalid")
+	if p1 != p2 {
+		t.Fatal("re-registering a member name minted a new proxy")
+	}
+}
+
+func TestParseScheduleGrammar(t *testing.T) {
+	events, err := ParseSchedule(`
+		@0 drop n2 0.5 path=/replica
+		@20 partition n3
+		@40 heal n3
+		@10 delay n1 5ms path=/edges
+		@0 inject500 n3 0.25
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events", len(events))
+	}
+	// Sorted by position, stable within equal positions.
+	if events[0].Verb != "drop" || events[0].P != 0.5 || events[0].Path != "/replica" {
+		t.Fatalf("events[0] = %+v", events[0])
+	}
+	if events[1].Verb != "inject500" || events[1].Member != "n3" || events[1].P != 0.25 {
+		t.Fatalf("events[1] = %+v", events[1])
+	}
+	if events[2].Verb != "delay" || events[2].Delay != 5*time.Millisecond || events[2].Path != "/edges" {
+		t.Fatalf("events[2] = %+v", events[2])
+	}
+	if events[3].At != 20 || events[4].At != 40 {
+		t.Fatalf("positions not sorted: %+v", events)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"drop n1 0.5",          // missing @N
+		"@x drop n1 0.5",       // bad position
+		"@1 drop n1",           // missing probability
+		"@1 drop n1 1.5",       // probability out of range
+		"@1 delay n1",          // missing duration
+		"@1 delay n1 fast",     // bad duration
+		"@1 explode n1",        // unknown verb
+		"@1 partition",         // missing member
+		"@1 drop n1 0.5 po=/x", // unexpected argument
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+	events, err := ParseSchedule("\n# only comments\n\n")
+	if err != nil || len(events) != 0 {
+		t.Fatalf("comment-only schedule: %v, %d events", err, len(events))
+	}
+}

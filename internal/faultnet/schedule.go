@@ -1,0 +1,108 @@
+package faultnet
+
+// The declarative half of the fabric: a schedule is a small text program
+// of fault events keyed to the global request counter, so a test reads
+// as a fault timeline instead of a tangle of imperative toggles:
+//
+//	@0  drop n2 0.5 path=/replica   # half of n2's replica applies vanish
+//	@20 partition n3                # blackhole n3 at the 20th request
+//	@40 heal n3                     # and let it back in at the 40th
+//
+// Lines are "@N verb member [p|duration] [path=substr]"; blank lines and
+// #-comments are skipped. Verbs: drop and inject500 take a probability
+// in [0,1], delay takes a Go duration, partition and heal take nothing.
+// Member "*" addresses every proxy. Events fire once, in order, when the
+// fabric's request counter reaches their position.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one scheduled fault transition.
+type Event struct {
+	At     uint64 // global request count at which the event fires
+	Verb   string // drop | inject500 | delay | partition | heal
+	Member string // member name, or "*" for all
+	P      float64
+	Delay  time.Duration
+	Path   string // substring filter; empty matches every path
+}
+
+// ParseSchedule parses the schedule text, returning events sorted by
+// firing position (stable, so same-position events keep source order).
+func ParseSchedule(text string) ([]Event, error) {
+	var events []Event
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		ev, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faultnet: schedule line %d: %w", lineNo+1, err)
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	var ev Event
+	if !strings.HasPrefix(fields[0], "@") {
+		return ev, fmt.Errorf("expected @N position, got %q", fields[0])
+	}
+	at, err := strconv.ParseUint(fields[0][1:], 10, 64)
+	if err != nil {
+		return ev, fmt.Errorf("bad position %q: %v", fields[0], err)
+	}
+	if len(fields) < 3 {
+		return ev, fmt.Errorf("expected \"@N verb member\", got %d fields", len(fields))
+	}
+	ev.At, ev.Verb, ev.Member = at, fields[1], fields[2]
+	args := fields[3:]
+
+	switch ev.Verb {
+	case "drop", "inject500":
+		if len(args) == 0 {
+			return ev, fmt.Errorf("%s needs a probability", ev.Verb)
+		}
+		p, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || p < 0 || p > 1 {
+			return ev, fmt.Errorf("bad probability %q", args[0])
+		}
+		ev.P = p
+		args = args[1:]
+	case "delay":
+		if len(args) == 0 {
+			return ev, fmt.Errorf("delay needs a duration")
+		}
+		d, err := time.ParseDuration(args[0])
+		if err != nil || d < 0 {
+			return ev, fmt.Errorf("bad duration %q", args[0])
+		}
+		ev.Delay = d
+		args = args[1:]
+	case "partition", "heal":
+		// no arguments beyond the optional path filter (ignored by both)
+	default:
+		return ev, fmt.Errorf("unknown verb %q", ev.Verb)
+	}
+
+	for _, a := range args {
+		val, ok := strings.CutPrefix(a, "path=")
+		if !ok {
+			return ev, fmt.Errorf("unexpected argument %q", a)
+		}
+		ev.Path = val
+	}
+	return ev, nil
+}

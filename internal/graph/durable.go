@@ -75,17 +75,27 @@ type GraphStore struct {
 // CreateGraphStore initializes dir (creating it) with a snapshot of g at
 // epoch 0 and an empty WAL, returning the open store.
 func CreateGraphStore(dir string, g *Graph, cfg StoreConfig) (*GraphStore, error) {
+	return CreateGraphStoreAt(dir, g, 0, cfg)
+}
+
+// CreateGraphStoreAt initializes dir with a snapshot of g at the given
+// epoch. A non-zero epoch is the replica-repair install path: the
+// snapshot adopts the owner's applied-batch sequence number, so the WAL
+// numbers future batches past it and recovery restores the replica at
+// the owner's position in the batch stream rather than restarting at 0.
+func CreateGraphStoreAt(dir string, g *Graph, epoch uint64, cfg StoreConfig) (*GraphStore, error) {
 	cfg = cfg.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := WriteGraphSnapshot(snapPath(dir, 0), g, 0); err != nil {
+	if err := WriteGraphSnapshot(snapPath(dir, epoch), g, epoch); err != nil {
 		return nil, err
 	}
 	wal, _, err := store.OpenWAL(filepath.Join(dir, walName), cfg.NoSync)
 	if err != nil {
 		return nil, err
 	}
+	wal.AdvanceSeq(epoch)
 	return &GraphStore{dir: dir, cfg: cfg, wal: wal}, nil
 }
 

@@ -1,0 +1,79 @@
+package server
+
+// S2: the Retry-After hint is derived from live queue pressure instead
+// of a hardcoded 1 — internal tests drive retryAfterSecs directly, plus
+// one end-to-end check that the shed path carries the derived header.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRetryAfterSecsScalesWithQueuePressure(t *testing.T) {
+	a := newAdmission(1, 10, 20*time.Second)
+	for _, tc := range []struct {
+		waiting int64
+		want    int64
+	}{
+		{0, 1},   // empty queue: come back in a second
+		{1, 2},   // ceil(1·20/10)
+		{5, 10},  // half-full queue: half the deadline
+		{10, 20}, // full queue: the whole deadline
+		{99, 20}, // clamped at the deadline even past the limit
+	} {
+		a.waiting.Store(tc.waiting)
+		if got := a.retryAfterSecs(); got != tc.want {
+			t.Errorf("waiting=%d: retryAfterSecs() = %d, want %d", tc.waiting, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterSecsDegenerateConfigs(t *testing.T) {
+	// Zero queue limit and a sub-second deadline must still produce a
+	// positive whole-second hint.
+	a := newAdmission(1, 0, 500*time.Millisecond)
+	if got := a.retryAfterSecs(); got != 1 {
+		t.Fatalf("zero-limit admission: retryAfterSecs() = %d, want 1", got)
+	}
+	a.waiting.Store(-3) // racing decrements can transiently undershoot
+	if got := a.retryAfterSecs(); got != 1 {
+		t.Fatalf("negative waiting: retryAfterSecs() = %d, want 1", got)
+	}
+}
+
+func TestShedResponseCarriesDerivedRetryAfter(t *testing.T) {
+	a := newAdmission(1, 1, 10*time.Second)
+	release := make(chan struct{})
+	h := a.admit(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-release
+	}))
+	defer close(release)
+
+	// Occupy the single slot, then the single queue seat.
+	for i := 0; i < 2; i++ {
+		go func() {
+			r := httptest.NewRequest(http.MethodGet, "/x", nil)
+			h.ServeHTTP(httptest.NewRecorder(), r)
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.waiting.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue seat never occupied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The next request sheds with 429 and the pressure-derived hint:
+	// 1 waiting × 10s deadline / limit 1 = 10 seconds.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "10" {
+		t.Fatalf("Retry-After = %q, want \"10\" (derived, not hardcoded 1)", got)
+	}
+}

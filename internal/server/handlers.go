@@ -66,6 +66,13 @@ type registerRequest struct {
 	N        int                  `json:"n,omitempty"`
 	Edges    [][2]int32           `json:"edges,omitempty"`
 	Workload *kplist.WorkloadSpec `json:"workload,omitempty"`
+	// Family and Seq are the repair-install extension: an anti-entropy
+	// full-state transfer POSTs an owner's /export document here, and the
+	// replica adopts the graph's family label and applied-batch sequence
+	// number along with its edges (Seq is ignored for workload bodies —
+	// generated graphs start their history at 0).
+	Family string `json:"family,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -134,6 +141,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		family = req.Family
+	}
+	seq := req.Seq
+	if req.Workload != nil {
+		seq = 0
 	}
 	// The registry admits (or refuses) first: a capacity rejection must
 	// never create files, so ErrRegistryFull leaves no debris on disk.
@@ -151,7 +163,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.persist != nil {
-		if err := s.persist.create(info, g, s.reg); err != nil {
+		if err := s.persist.create(info, g, seq, s.reg); err != nil {
 			// Roll the registration back: a graph the store cannot hold
 			// durably is not registered at all.
 			_ = s.reg.Remove(info.ID)
@@ -160,6 +172,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if seq > 0 {
+		s.appliedSeq(info.ID).Store(seq)
+	}
+	w.Header().Set(SeqHeader, strconv.FormatUint(seq, 10))
 	writeJSON(w, http.StatusCreated, info)
 }
 
@@ -199,6 +215,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.pool.Invalidate(id)
 	s.mutLocks.Delete(id) // IDs never recycle, so the lock is garbage now
+	s.seqs.Delete(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -330,6 +347,12 @@ type patchResponse struct {
 	InvalidatedResults int `json:"invalidatedResults"`
 	N                  int `json:"n"`
 	M                  int `json:"m"`
+	// Seq is the graph's applied-batch sequence number after this request
+	// (also in the X-Kplist-Seq header); Duplicate marks a replica apply
+	// that was skipped because its sequence number was already applied —
+	// the idempotence the hinted-handoff replay path relies on.
+	Seq       uint64 `json:"seq"`
+	Duplicate bool   `json:"duplicate,omitempty"`
 }
 
 // handlePatchEdges applies a batch of edge mutations to a registered
@@ -396,6 +419,37 @@ func (s *Server) applyPatch(w http.ResponseWriter, r *http.Request, replica bool
 	// has published.
 	unlock := s.lockMutations(id)
 	defer unlock()
+
+	// Replica applies carry the owner-assigned sequence number and must
+	// land strictly in order: a duplicate (hinted-handoff replay, fan-out
+	// retry) is acknowledged without re-applying, and a gap means this
+	// replica missed acknowledged batches — applying out of order would
+	// bury the divergence in the WAL, so it is refused and left to the
+	// anti-entropy sweeper's full-state repair.
+	seq := s.appliedSeq(id)
+	var hdrSeq uint64
+	if replica {
+		hdrSeq, _ = strconv.ParseUint(r.Header.Get(SeqHeader), 10, 64)
+	}
+	if hdrSeq > 0 {
+		cur := seq.Load()
+		if hdrSeq <= cur {
+			s.met.recordReplicaDuplicate()
+			w.Header().Set(SeqHeader, strconv.FormatUint(cur, 10))
+			writeJSON(w, http.StatusOK, patchResponse{
+				Graph: id, Mutations: len(muts), Duplicate: true,
+				Seq: cur, N: rg.G.N(), M: rg.G.M(),
+			})
+			return
+		}
+		if hdrSeq != cur+1 {
+			s.met.recordReplicaGap()
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("replica seq gap on graph %s: applied %d, got %d", id, cur, hdrSeq))
+			return
+		}
+	}
+
 	sess, release, err := s.acquireChecked(r.Context(), id, rg.G)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -465,6 +519,20 @@ func (s *Server) applyPatch(w http.ResponseWriter, r *http.Request, replica bool
 		}
 	}
 
+	// Advance the applied-sequence counter: replica applies adopt the
+	// owner's number; owner (and standalone) applies count effective
+	// batches only, so the counter stays in lockstep with the WAL, which
+	// never sees no-op batches either.
+	newSeq := seq.Load()
+	if hdrSeq > 0 {
+		newSeq = hdrSeq
+		seq.Store(hdrSeq)
+	} else if ar.AddedEdges+ar.RemovedEdges > 0 {
+		newSeq++
+		seq.Store(newSeq)
+	}
+	w.Header().Set(SeqHeader, strconv.FormatUint(newSeq, 10))
+
 	writeJSON(w, http.StatusOK, patchResponse{
 		Graph:              id,
 		Mutations:          len(muts),
@@ -474,6 +542,7 @@ func (s *Server) applyPatch(w http.ResponseWriter, r *http.Request, replica bool
 		InvalidatedResults: ar.InvalidatedResults,
 		N:                  ar.N,
 		M:                  ar.M,
+		Seq:                newSeq,
 	})
 }
 

@@ -20,17 +20,46 @@ import (
 // time is bounded by the per-request deadline.
 type admission struct {
 	queueLimit int64
+	deadline   time.Duration
 	slots      chan struct{}
 	waiting    atomic.Int64
 	shed       atomic.Int64
 	timedOut   atomic.Int64
 }
 
-func newAdmission(inFlight, queueLimit int) *admission {
+func newAdmission(inFlight, queueLimit int, deadline time.Duration) *admission {
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
 	return &admission{
 		queueLimit: int64(queueLimit),
+		deadline:   deadline,
 		slots:      make(chan struct{}, inFlight),
 	}
+}
+
+// retryAfterSecs derives the Retry-After hint from live queue pressure:
+// every queued request drains (or times out) within the default
+// deadline, so the expected wait scales with how full the accept queue
+// is — a nearly empty queue suggests a second, a full one the whole
+// deadline. Clamped to [1, deadline] whole seconds.
+func (a *admission) retryAfterSecs() int64 {
+	limit := a.queueLimit
+	if limit < 1 {
+		limit = 1
+	}
+	waiting := a.waiting.Load()
+	if waiting < 0 {
+		waiting = 0
+	}
+	secs := (waiting*int64(a.deadline/time.Second) + limit - 1) / limit
+	if max := int64(a.deadline / time.Second); secs > max {
+		secs = max
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // admit wraps h with the accept-queue discipline.
@@ -49,7 +78,7 @@ func (a *admission) admit(h http.Handler) http.Handler {
 		if a.waiting.Add(1) > a.queueLimit {
 			a.waiting.Add(-1)
 			a.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.FormatInt(a.retryAfterSecs(), 10))
 			http.Error(w, "overloaded: accept queue full", http.StatusTooManyRequests)
 			return
 		}
@@ -61,6 +90,7 @@ func (a *admission) admit(h http.Handler) http.Handler {
 		case <-r.Context().Done():
 			a.waiting.Add(-1)
 			a.timedOut.Add(1)
+			w.Header().Set("Retry-After", strconv.FormatInt(a.retryAfterSecs(), 10))
 			http.Error(w, "deadline exceeded while queued", http.StatusServiceUnavailable)
 		}
 	})
@@ -138,8 +168,13 @@ type metrics struct {
 
 	// Cluster counters: replica-apply batches accepted from a gateway, and
 	// unmarked requests refused because this node does not host the graph.
-	replicaApplies int64
-	misdirected    int64
+	// Duplicates are sequence-tagged replica applies acknowledged without
+	// re-applying (hinted-handoff replays); gaps are out-of-order replica
+	// applies refused because this replica missed acknowledged batches.
+	replicaApplies    int64
+	replicaDuplicates int64
+	replicaGaps       int64
+	misdirected       int64
 }
 
 func newMetrics() *metrics {
@@ -186,6 +221,22 @@ func (m *metrics) recordReplicaApply() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.replicaApplies++
+}
+
+// recordReplicaDuplicate accounts one already-applied sequence-tagged
+// batch acknowledged idempotently on the replica path.
+func (m *metrics) recordReplicaDuplicate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replicaDuplicates++
+}
+
+// recordReplicaGap accounts one replica apply refused because its
+// sequence number skipped past batches this replica never saw.
+func (m *metrics) recordReplicaGap() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replicaGaps++
 }
 
 // recordMisdirect accounts one unmarked request refused with 421 because
@@ -337,6 +388,10 @@ func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
 
 	fmt.Fprintf(w, "# TYPE kplistd_replica_applies_total counter\n")
 	fmt.Fprintf(w, "kplistd_replica_applies_total %d\n", m.replicaApplies)
+	fmt.Fprintf(w, "# TYPE kplistd_replica_duplicates_total counter\n")
+	fmt.Fprintf(w, "kplistd_replica_duplicates_total %d\n", m.replicaDuplicates)
+	fmt.Fprintf(w, "# TYPE kplistd_replica_seq_gaps_total counter\n")
+	fmt.Fprintf(w, "kplistd_replica_seq_gaps_total %d\n", m.replicaGaps)
 	fmt.Fprintf(w, "# TYPE kplistd_misdirected_total counter\n")
 	fmt.Fprintf(w, "kplistd_misdirected_total %d\n", m.misdirected)
 

@@ -212,14 +212,28 @@ func (p *persistence) store(id string) *kplist.GraphStore {
 	return p.stores[id]
 }
 
+// walSeqs snapshots every open store's WAL sequence number — boot
+// recovery restores each graph's applied-batch counter from it.
+func (p *persistence) walSeqs() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.stores))
+	for id, st := range p.stores {
+		out[id] = st.LastSeq()
+	}
+	return out
+}
+
 // create initializes the graph's durable store holding g and records it
 // in the manifest. Called after the registry admitted the graph
 // (capacity is its concern); on failure the caller rolls the
-// registration back.
-func (p *persistence) create(info GraphInfo, g *kplist.Graph, reg *Registry) error {
+// registration back. A non-zero seq seeds the store at that sequence
+// number — the replica-repair install path, where the graph arrives
+// already carrying the owner's applied-batch position.
+func (p *persistence) create(info GraphInfo, g *kplist.Graph, seq uint64, reg *Registry) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	st, err := kplist.CreateGraphStore(p.graphDir(info.ID), g, p.cfg)
+	st, err := kplist.CreateGraphStoreAt(p.graphDir(info.ID), g, seq, p.cfg)
 	if err != nil {
 		os.RemoveAll(p.graphDir(info.ID))
 		return err

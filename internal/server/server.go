@@ -123,6 +123,13 @@ type Server struct {
 	// older snapshot. Entries are dropped on DELETE; IDs never recycle.
 	mutLocks sync.Map // graph ID → *sync.Mutex
 
+	// seqs tracks each graph's applied-mutation sequence number (graph ID
+	// → *atomic.Uint64): +1 per effective batch, written only under the
+	// graph's mutation lock, mirrored by the WAL on durable nodes and
+	// restored from it at boot. The digest endpoint exposes it so the
+	// cluster can compare replica positions without replaying anything.
+	seqs sync.Map
+
 	// persist is the durable backing (nil when Config.DataDir is empty);
 	// recovery describes what Open replayed at boot.
 	persist  *persistence
@@ -159,7 +166,7 @@ func Open(cfg Config) (*Server, error) {
 		cfg:  cfg,
 		reg:  NewRegistry(cfg.MaxGraphs),
 		pool: NewSessionPool(cfg.PoolSize, cfg.Session),
-		adm:  newAdmission(cfg.MaxInFlight, cfg.QueueLimit),
+		adm:  newAdmission(cfg.MaxInFlight, cfg.QueueLimit, cfg.DefaultDeadline),
 		met:  newMetrics(),
 	}
 	if cfg.DataDir != "" {
@@ -169,6 +176,12 @@ func Open(cfg Config) (*Server, error) {
 		}
 		s.persist = p
 		s.recovery = rep
+		// Recovered graphs resume at the WAL's sequence number — exactly
+		// one record per acknowledged effective batch, monotonic across
+		// compactions — so digests survive restarts.
+		for id, seq := range p.walSeqs() {
+			s.appliedSeq(id).Store(seq)
+		}
 	}
 	s.mux = http.NewServeMux()
 	// Health and metrics bypass admission: they must answer precisely
@@ -183,6 +196,8 @@ func Open(cfg Config) (*Server, error) {
 	s.route("GET /v1/graphs/{id}/cliques", s.clusterGate(http.HandlerFunc(s.handleCliques), false), true)
 	s.route("PATCH /v1/graphs/{id}/edges", s.clusterGate(http.HandlerFunc(s.handlePatchEdges), true), true)
 	s.route("PATCH /v1/graphs/{id}/replica", http.HandlerFunc(s.handleReplicaApply), true)
+	s.route("GET /v1/graphs/{id}/digest", s.clusterGate(http.HandlerFunc(s.handleDigest), false), true)
+	s.route("GET /v1/graphs/{id}/export", s.clusterGate(http.HandlerFunc(s.handleExport), false), true)
 	return s, nil
 }
 

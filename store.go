@@ -47,6 +47,14 @@ func CreateGraphStore(dir string, g *Graph, cfg StoreConfig) (*GraphStore, error
 	return graph.CreateGraphStore(dir, g, cfg)
 }
 
+// CreateGraphStoreAt is CreateGraphStore with an explicit snapshot epoch:
+// the cluster's replica-repair install path seeds a store at the owner's
+// applied-batch sequence number so recovery and future WAL appends stay
+// aligned with the cluster's numbering.
+func CreateGraphStoreAt(dir string, g *Graph, epoch uint64, cfg StoreConfig) (*GraphStore, error) {
+	return graph.CreateGraphStoreAt(dir, g, epoch, cfg)
+}
+
 // OpenGraphStore recovers the store in dir — newest valid snapshot plus
 // WAL-tail replay — returning the store, the recovered graph, and what
 // recovery did. The graph reflects exactly the batches the store
