@@ -14,6 +14,7 @@
 //	benchrunner -kernelbench BENCH_kernel.json   # append a kernel run to the trajectory
 //	benchrunner -only e13 -storebench BENCH_store.json
 //	benchrunner -only e14 -clusterbench BENCH_cluster.json
+//	benchrunner -only e15 -sketchbench BENCH_sketch.json
 //	benchrunner -compare -kernelbench BENCH_kernel.json -storebench BENCH_store.json
 //	benchrunner -autotune tuning.json            # measure the kernel knobs on this host
 //	benchrunner -tuning tuning.json ...          # run any of the above under a profile
@@ -68,13 +69,14 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		only       = fs.String("only", "", "comma-separated experiments to run (e1..e14, kernel); empty = all")
+		only       = fs.String("only", "", "comma-separated experiments to run (e1..e15, kernel); empty = all")
 		quick      = fs.Bool("quick", false, "small sizes for a fast smoke run")
 		seed       = fs.Int64("seed", 1, "random seed")
 		workers    = fs.Int("workers", 0, "host goroutines for parallel-phase simulation and the kernel sweep fan-out (0 = GOMAXPROCS / the default {1,8} ladder)")
 		kernOut    = fs.String("kernelbench", "", "append this run to the kernel perf trajectory (BENCH_kernel.json) at this path; implies the kernel sweep runs")
 		storeOut   = fs.String("storebench", "", "append this run to the persistence trajectory (BENCH_store.json) at this path; implies e13 runs")
 		clusterOut = fs.String("clusterbench", "", "append this run to the cluster trajectory (BENCH_cluster.json) at this path; implies e14 runs")
+		sketchOut  = fs.String("sketchbench", "", "append this run to the estimator trajectory (BENCH_sketch.json) at this path; implies e15 runs")
 		update     = fs.Bool("update", false, "rewrite the golden files whose experiments are all selected (requires -quick; scoped by -only)")
 		goldenDir  = fs.String("goldendir", filepath.Join("cmd", "benchrunner", "testdata"), "directory holding the golden files -update rewrites")
 		compare    = fs.Bool("compare", false, "compare the newest run of the -kernelbench/-storebench trajectories against their same-host history (Go benchfmt output; non-zero exit on regression) instead of running experiments")
@@ -108,7 +110,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "applied tuning profile %s\n", *tuningIn)
 	}
 	if *compare {
-		return runCompare(w, *kernOut, *storeOut, *clusterOut, *threshold)
+		return runCompare(w, *kernOut, *storeOut, *clusterOut, *sketchOut, *threshold)
 	}
 
 	cfg := bench.Config{Seed: *seed, Workers: *workers}
@@ -142,7 +144,7 @@ func run(args []string, w io.Writer) error {
 		{"e11", func() ([]bench.Series, error) { return bench.E11ServerThroughput(cfg) }},
 		{"e12", func() ([]bench.Series, error) { return bench.E12IncrementalChurn(cfg) }},
 	}
-	known := map[string]bool{"kernel": true, "e13": true, "e14": true}
+	known := map[string]bool{"kernel": true, "e13": true, "e14": true, "e15": true}
 	for _, r := range runners {
 		known[r.tag] = true
 	}
@@ -152,7 +154,7 @@ func run(args []string, w io.Writer) error {
 			for _, r := range runners {
 				tags = append(tags, r.tag)
 			}
-			tags = append(tags, "e13", "e14", "kernel")
+			tags = append(tags, "e13", "e14", "e15", "kernel")
 			return fmt.Errorf("unknown experiment %q (known: %s)", tag, strings.Join(tags, ", "))
 		}
 	}
@@ -220,6 +222,23 @@ func run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "appended run %d to %s\n", n, *clusterOut)
 		}
 	}
+	// E15 (estimators) is wall-clock like the kernel sweep: it runs via
+	// -only e15 or implicitly when a -sketchbench path is given.
+	if want["e15"] || *sketchOut != "" {
+		fmt.Fprintln(w, "==== E15 ====")
+		er, err := bench.SketchBench(*seed, *quick)
+		if err != nil {
+			return fmt.Errorf("e15: %w", err)
+		}
+		fmt.Fprint(w, er.Table())
+		if *sketchOut != "" {
+			n, err := bench.AppendRun(*sketchOut, er)
+			if err != nil {
+				return fmt.Errorf("sketch trajectory: %w", err)
+			}
+			fmt.Fprintf(w, "appended run %d to %s\n", n, *sketchOut)
+		}
+	}
 	if *autotune != "" {
 		fmt.Fprintln(w, "==== AUTOTUNE ====")
 		profile := bench.Autotune(*seed, *quick)
@@ -241,9 +260,9 @@ func run(args []string, w io.Writer) error {
 // newest run has no comparable history is REFUSED — reported and skipped,
 // never failed — so a new machine's first run cannot masquerade as a
 // regression.
-func runCompare(w io.Writer, kernPath, storePath, clusterPath string, threshold float64) error {
-	if kernPath == "" && storePath == "" && clusterPath == "" {
-		return fmt.Errorf("-compare needs at least one trajectory: give -kernelbench, -storebench and/or -clusterbench")
+func runCompare(w io.Writer, kernPath, storePath, clusterPath, sketchPath string, threshold float64) error {
+	if kernPath == "" && storePath == "" && clusterPath == "" && sketchPath == "" {
+		return fmt.Errorf("-compare needs at least one trajectory: give -kernelbench, -storebench, -clusterbench and/or -sketchbench")
 	}
 	var regressed []string
 	if kernPath != "" {
@@ -283,6 +302,20 @@ func runCompare(w io.Writer, kernPath, storePath, clusterPath string, threshold 
 			fmt.Fprint(w, traj.Runs[n-1].Benchfmt())
 		}
 		report := bench.CompareCluster(traj, threshold)
+		fmt.Fprint(w, report.Table())
+		for _, c := range report.Regressions() {
+			regressed = append(regressed, c.Name)
+		}
+	}
+	if sketchPath != "" {
+		traj, err := bench.LoadSketchTrajectory(sketchPath)
+		if err != nil {
+			return fmt.Errorf("compare: %w", err)
+		}
+		if n := len(traj.Runs); n > 0 {
+			fmt.Fprint(w, traj.Runs[n-1].Benchfmt())
+		}
+		report := bench.CompareSketch(traj, threshold)
 		fmt.Fprint(w, report.Table())
 		for _, c := range report.Regressions() {
 			regressed = append(regressed, c.Name)

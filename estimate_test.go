@@ -1,0 +1,262 @@
+package kplist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"kplist"
+	"kplist/internal/workload"
+)
+
+func estTestSession(t *testing.T) (*kplist.Session, float64) {
+	t.Helper()
+	inst, err := workload.Generate(workload.DefaultSpec(workload.FamilyStochasticBlock, 96, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := kplist.NewSession(inst.G, kplist.SessionConfig{})
+	t.Cleanup(s.Close)
+	return s, float64(len(s.GroundTruth(3)))
+}
+
+func TestEstimateExactPath(t *testing.T) {
+	s, truth := estTestSession(t)
+	// No budget: the planner must answer exactly.
+	r, err := s.Estimate(context.Background(), kplist.EstimateRequest{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact || r.Method != kplist.EstimateExact {
+		t.Fatalf("unbudgeted estimate not exact: %+v", r)
+	}
+	if r.Estimate != truth || r.CILo != truth || r.CIHi != truth {
+		t.Fatalf("exact path returned %v (CI [%v, %v]), truth %v", r.Estimate, r.CILo, r.CIHi, truth)
+	}
+}
+
+func TestEstimateHLLPath(t *testing.T) {
+	s, truth := estTestSession(t)
+	req := kplist.EstimateRequest{P: 3, Method: kplist.EstimateHLL, Eps: 0.05, Conf: 0.95, Seed: 3}
+	r, err := s.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact || r.Method != kplist.EstimateHLL || r.Precision == 0 {
+		t.Fatalf("hll path mislabelled: %+v", r)
+	}
+	if truth < r.CILo || truth > r.CIHi {
+		t.Fatalf("CI [%v, %v] misses truth %v", r.CILo, r.CIHi, truth)
+	}
+	// A second identical request rides the maintained sketch.
+	if _, err := s.Estimate(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SketchBuilds != 1 {
+		t.Fatalf("expected one sketch build, got %d", st.SketchBuilds)
+	}
+}
+
+func TestEstimateSamplePath(t *testing.T) {
+	s, truth := estTestSession(t)
+	req := kplist.EstimateRequest{P: 3, Method: kplist.EstimateSample, Seed: 9, Samples: 2048, Conf: 0.95}
+	r, err := s.Estimate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact || r.Method != kplist.EstimateSample || r.Samples != 2048 {
+		t.Fatalf("sample path mislabelled: %+v", r)
+	}
+	if truth < r.CILo || truth > r.CIHi {
+		t.Fatalf("CI [%v, %v] misses truth %v", r.CILo, r.CIHi, truth)
+	}
+	r2, err := s.Estimate(context.Background(), req)
+	if err != nil || r2.Estimate != r.Estimate {
+		t.Fatalf("same seed diverged: %v vs %v (err %v)", r2.Estimate, r.Estimate, err)
+	}
+}
+
+func TestEstimatePlannerPicksEstimatorUnderBudget(t *testing.T) {
+	s, _ := estTestSession(t)
+	// A 1ns budget prices out the exact kernel; with no sketch maintained
+	// the planner must fall to sampling.
+	r, err := s.Estimate(context.Background(), kplist.EstimateRequest{P: 4, Budget: time.Nanosecond, Seed: 1, Samples: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact || r.Method != kplist.EstimateSample {
+		t.Fatalf("budgeted estimate picked %s (exact=%v), want sample", r.Method, r.Exact)
+	}
+	// Once a sketch is maintained for the same (p, precision, seed), the
+	// planner prefers it.
+	if _, _, err := s.Sketch(context.Background(), 4, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err = s.Estimate(context.Background(), kplist.EstimateRequest{P: 4, Budget: time.Nanosecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Method != kplist.EstimateHLL {
+		t.Fatalf("budgeted estimate with fresh sketch picked %s, want hll", r.Method)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	s, _ := estTestSession(t)
+	cases := []kplist.EstimateRequest{
+		{P: 2},
+		{P: 3, Method: "guess"},
+		{P: 3, Precision: 99},
+	}
+	for _, req := range cases {
+		if _, err := s.Estimate(context.Background(), req); !errors.Is(err, kplist.ErrInvalidQuery) {
+			t.Errorf("%+v: got %v, want ErrInvalidQuery", req, err)
+		}
+	}
+	if _, _, err := s.Sketch(context.Background(), 0, 12, 1); !errors.Is(err, kplist.ErrInvalidQuery) {
+		t.Errorf("Sketch p=0: got %v", err)
+	}
+	s.Close()
+	if _, err := s.Estimate(context.Background(), kplist.EstimateRequest{P: 3}); !errors.Is(err, kplist.ErrSessionClosed) {
+		t.Errorf("closed session: got %v", err)
+	}
+	if _, _, err := s.Sketch(context.Background(), 3, 12, 1); !errors.Is(err, kplist.ErrSessionClosed) {
+		t.Errorf("closed session sketch: got %v", err)
+	}
+}
+
+// TestSketchMaintenanceUnderMutation pins the incremental path: a
+// pure-insertion batch folds into the maintained sketch byte-identically
+// to a from-scratch rebuild; a deletion marks it stale and the next
+// request lazily rebuilds.
+func TestSketchMaintenanceUnderMutation(t *testing.T) {
+	inst, err := workload.Generate(workload.DefaultSpec(workload.FamilyKronecker, 64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := kplist.NewSession(inst.G, kplist.SessionConfig{})
+	defer s.Close()
+	ctx := context.Background()
+	if _, _, err := s.Sketch(ctx, 3, 12, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a triangle over a mutually non-adjacent vertex triple so the
+	// batch is effective (pure insertions).
+	u, v, w := nonTriangle(t, s.Graph())
+	muts := []kplist.Mutation{
+		kplist.AddEdgeMutation(u, v), kplist.AddEdgeMutation(v, w), kplist.AddEdgeMutation(u, w),
+	}
+	res, err := s.Apply(ctx, muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddedEdges != 3 || res.RemovedEdges != 0 {
+		t.Fatalf("expected 3 pure insertions, got %+v", res)
+	}
+	st := s.Stats()
+	if st.SketchIncremental == 0 || st.SketchStaleMarked != 0 {
+		t.Fatalf("insertion batch: stats %+v", st)
+	}
+	maintained, staleRebuilt, err := s.Sketch(ctx, 3, 12, 7)
+	if err != nil || staleRebuilt {
+		t.Fatalf("maintained sketch: err %v, staleRebuilt %v", err, staleRebuilt)
+	}
+	fresh := kplist.NewSession(s.Graph(), kplist.SessionConfig{})
+	defer fresh.Close()
+	want, _, err := fresh.Sketch(ctx, 3, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := maintained.MarshalBinary()
+	wb, _ := want.MarshalBinary()
+	if string(mb) != string(wb) {
+		t.Fatal("incrementally maintained sketch differs from a from-scratch rebuild")
+	}
+	if s.Stats().SketchBuilds != 1 {
+		t.Fatalf("incremental path rebuilt from scratch: %+v", s.Stats())
+	}
+
+	// Deleting an edge cannot be un-inscribed: stale, then lazy rebuild.
+	if _, err := s.Apply(ctx, []kplist.Mutation{kplist.DelEdgeMutation(u, v)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SketchStaleMarked != 1 {
+		t.Fatalf("deletion batch did not mark stale: %+v", st)
+	}
+	rebuilt, staleRebuilt, err := s.Sketch(ctx, 3, 12, 7)
+	if err != nil || !staleRebuilt {
+		t.Fatalf("expected stale rebuild, got err %v, staleRebuilt %v", err, staleRebuilt)
+	}
+	fresh2 := kplist.NewSession(s.Graph(), kplist.SessionConfig{})
+	defer fresh2.Close()
+	want2, _, err := fresh2.Sketch(ctx, 3, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := rebuilt.MarshalBinary()
+	wb2, _ := want2.MarshalBinary()
+	if string(rb) != string(wb2) {
+		t.Fatal("stale rebuild differs from a from-scratch sketch")
+	}
+	if st := s.Stats(); st.SketchStaleRebuilds != 1 || st.SketchBuilds != 2 {
+		t.Fatalf("stale rebuild stats: %+v", st)
+	}
+}
+
+// nonTriangle finds three mutually non-adjacent vertices.
+func nonTriangle(t *testing.T, g *kplist.Graph) (kplist.V, kplist.V, kplist.V) {
+	t.Helper()
+	n := kplist.V(g.N())
+	for u := kplist.V(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if !g.HasEdge(u, w) && !g.HasEdge(v, w) {
+					return u, v, w
+				}
+			}
+		}
+	}
+	t.Fatal("no mutually non-adjacent triple in test graph")
+	return 0, 0, 0
+}
+
+// TestDifferentialEstimateVsExact runs mode=estimate against GroundTruth
+// for every workload family: both estimator paths must cover the exact
+// count with their advertised intervals. (The partitioned-cluster leg of
+// this satellite lives in internal/cluster's differential suite.)
+func TestDifferentialEstimateVsExact(t *testing.T) {
+	for _, family := range workload.Families() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			inst, err := workload.Generate(workload.DefaultSpec(family, 80, 20260807))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := kplist.NewSession(inst.G, kplist.SessionConfig{})
+			defer s.Close()
+			for _, p := range []int{3, 4} {
+				truth := float64(len(s.GroundTruth(p)))
+				for _, method := range []string{kplist.EstimateHLL, kplist.EstimateSample} {
+					r, err := s.Estimate(context.Background(), kplist.EstimateRequest{
+						P: p, Method: method, Seed: 77, Samples: 2048, Eps: 0.05, Conf: 0.99,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r.Exact {
+						t.Fatalf("%s p=%d: estimate labelled exact", method, p)
+					}
+					if truth < r.CILo || truth > r.CIHi {
+						t.Errorf("%s p=%d: CI [%v, %v] misses exact count %v (estimate %v)",
+							method, p, r.CILo, r.CIHi, truth, r.Estimate)
+					}
+				}
+			}
+		})
+	}
+}

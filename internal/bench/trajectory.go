@@ -122,6 +122,21 @@ func LoadClusterTrajectory(path string) (*ClusterBaseline, error) {
 	return out, nil
 }
 
+// LoadSketchTrajectory reads and types the estimator trajectory at path.
+func LoadSketchTrajectory(path string) (*SketchBaseline, error) {
+	doc, err := readTrajectory(path)
+	if err != nil {
+		return nil, err
+	}
+	out := &SketchBaseline{Runs: make([]SketchRun, len(doc.Runs))}
+	for i, raw := range doc.Runs {
+		if err := json.Unmarshal(raw, &out.Runs[i]); err != nil {
+			return nil, fmt.Errorf("%s: run %d: %w", path, i, err)
+		}
+	}
+	return out, nil
+}
+
 // WriteFileAtomic writes data to path via a unique temp file in the same
 // directory, fsynced and renamed into place — the same overwrite
 // discipline internal/store uses for snapshots, so a crash mid-write

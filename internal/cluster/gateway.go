@@ -37,6 +37,7 @@ func NewGateway(c *Client) *Gateway {
 	gw.mux.HandleFunc("DELETE /v1/graphs/{id}", gw.handleDelete)
 	gw.mux.HandleFunc("POST /v1/graphs/{id}/query", gw.handleQuery)
 	gw.mux.HandleFunc("GET /v1/graphs/{id}/cliques", gw.handleCliques)
+	gw.mux.HandleFunc("GET /v1/graphs/{id}/sketch", gw.handleSketch)
 	gw.mux.HandleFunc("PATCH /v1/graphs/{id}/edges", gw.handlePatch)
 	gw.mux.HandleFunc("GET /v1/graphs/{id}/digest", gw.handleDigest)
 	return gw
@@ -279,7 +280,14 @@ func (gw *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (gw *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if gw.c.partitionedGraph(id) != nil {
+	if pg := gw.c.partitionedGraph(id); pg != nil {
+		// Partitioned graphs cannot run the query kernel, but the
+		// approximate tier works: estimates are answered from the
+		// scatter-merged shard sketch (sketch.go).
+		if r.URL.Query().Get("mode") == "estimate" {
+			gw.handlePartitionedEstimate(w, r, pg)
+			return
+		}
 		gwError(w, http.StatusBadRequest, ErrPartitionedMutation)
 		return
 	}

@@ -55,6 +55,11 @@ type Metrics struct {
 	scatterLines    int64 // merged NDJSON lines across all scatters
 	misdirected     int64 // requests refused because no candidate answered
 
+	// Approximate-tier counters (DESIGN.md §14): merged sketch answers
+	// served by the gateway, and the per-shard sketch fetches behind them.
+	sketchMerges       int64
+	sketchShardFetches int64
+
 	// Self-healing replication counters (DESIGN.md §13).
 	hintsQueued       int64 // batches queued for a downed replica
 	hintsReplayed     int64 // queued batches delivered after recovery
@@ -116,6 +121,9 @@ func (m *Metrics) HintsDropped() int64 {
 	defer m.mu.Unlock()
 	return m.hintsDropped
 }
+
+func (m *Metrics) addSketchMerge()      { m.mu.Lock(); m.sketchMerges++; m.mu.Unlock() }
+func (m *Metrics) addSketchShardFetch() { m.mu.Lock(); m.sketchShardFetches++; m.mu.Unlock() }
 
 func (m *Metrics) addScatter(lines int64) {
 	m.mu.Lock()
@@ -204,6 +212,8 @@ func (m *Metrics) Render(w *strings.Builder, gauges map[string]float64) {
 		{"kplistgw_replication_lag_batches", m.replicaFailures},
 		{"kplistgw_scatter_requests_total", m.scatterRequests},
 		{"kplistgw_scatter_merged_lines_total", m.scatterLines},
+		{"kplistgw_sketch_merges_total", m.sketchMerges},
+		{"kplistgw_sketch_shard_fetches_total", m.sketchShardFetches},
 		{"kplistgw_unroutable_total", m.misdirected},
 		{"kplistgw_hints_queued_total", m.hintsQueued},
 		{"kplistgw_hints_replayed_total", m.hintsReplayed},

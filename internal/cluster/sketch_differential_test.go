@@ -1,0 +1,132 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"kplist"
+)
+
+// fetchSketch pulls a binary sketch and returns (status, body).
+func fetchSketch(t *testing.T, base, id, query string) (int, []byte) {
+	t.Helper()
+	resp := do(t, http.MethodGet, fmt.Sprintf("%s/v1/graphs/%s/sketch?%s", base, id, query), nil)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDifferentialPartitionedSketchMerge is the cluster leg of the
+// estimate differential suite: for every workload family, the gateway's
+// register-wise merge of per-shard sketches over a 3-node partitioned
+// graph must be byte-identical to the sketch a standalone node builds over
+// the whole graph, and the mode=estimate answers must agree exactly.
+func TestDifferentialPartitionedSketchMerge(t *testing.T) {
+	h := newHarness(t, 3, 2, 53)
+	for fi, family := range kplist.WorkloadFamilies() {
+		family := family
+		t.Run(family, func(t *testing.T) {
+			body := workloadBody(family, 100, int64(300+fi))
+			buf, _ := json.Marshal(body)
+			resp := do(t, http.MethodPost, h.gw.URL+"/v1/graphs?partitioned=1&p=3", buf)
+			var meta map[string]any
+			json.NewDecoder(resp.Body).Decode(&meta)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("partitioned register: %d: %v", resp.StatusCode, meta)
+			}
+			id := meta["id"].(string)
+			_, refMeta := postJSON(t, h.ref.URL+"/v1/graphs", body)
+			refID := refMeta["id"].(string)
+
+			// Explicit precision+seed, and the eps/conf-resolved default:
+			// both must merge to the single-node bytes.
+			for _, q := range []string{"p=3&precision=12&seed=7", "p=3&seed=7&eps=0.05&conf=0.95"} {
+				st, got := fetchSketch(t, h.gw.URL, id, q)
+				if st != http.StatusOK {
+					t.Fatalf("gateway sketch %q: status %d: %s", q, st, got)
+				}
+				st, want := fetchSketch(t, h.ref.URL, refID, q)
+				if st != http.StatusOK {
+					t.Fatalf("ref sketch %q: status %d: %s", q, st, want)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("%s %q: gateway-merged sketch (%d bytes) differs from single node (%d bytes)",
+						family, q, len(got), len(want))
+				}
+			}
+
+			// mode=estimate answers must agree field for field (the ref is
+			// forced onto its maintained sketch — the same deterministic
+			// (p, precision, seed) identity the gateway scatters).
+			qb, _ := json.Marshal(map[string]any{"p": 3, "seed": 7})
+			gwResp := do(t, http.MethodPost,
+				h.gw.URL+"/v1/graphs/"+id+"/query?mode=estimate&eps=0.05&conf=0.95", qb)
+			refResp := do(t, http.MethodPost,
+				h.ref.URL+"/v1/graphs/"+refID+"/query?mode=estimate&method=hll&eps=0.05&conf=0.95", qb)
+			var got, want map[string]any
+			json.NewDecoder(gwResp.Body).Decode(&got)
+			json.NewDecoder(refResp.Body).Decode(&want)
+			gwResp.Body.Close()
+			refResp.Body.Close()
+			if gwResp.StatusCode != http.StatusOK || refResp.StatusCode != http.StatusOK {
+				t.Fatalf("estimate: gateway %d %v, ref %d %v", gwResp.StatusCode, got, refResp.StatusCode, want)
+			}
+			for _, field := range []string{"estimate", "ci_lo", "ci_hi", "method", "exact", "precision"} {
+				if got[field] != want[field] {
+					t.Errorf("estimate field %q: gateway %v, single node %v", field, got[field], want[field])
+				}
+			}
+
+			// Wrong p and non-sketch methods are caller mistakes.
+			if st, _ := fetchSketch(t, h.gw.URL, id, "p=4&precision=12"); st != http.StatusBadRequest {
+				t.Errorf("wrong-p sketch: status %d, want 400", st)
+			}
+			resp = do(t, http.MethodPost, h.gw.URL+"/v1/graphs/"+id+"/query?mode=estimate&method=sample", qb)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("partitioned method=sample: status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestDifferentialPartitionedSketchFailover kills one node of a 3-shard
+// partitioned graph (R=2) and demands the merged sketch stay
+// byte-identical through read failover.
+func TestDifferentialPartitionedSketchFailover(t *testing.T) {
+	h := newHarness(t, 3, 2, 59)
+	body := workloadBody("stochastic-block", 120, 61)
+	buf, _ := json.Marshal(body)
+	resp := do(t, http.MethodPost, h.gw.URL+"/v1/graphs?partitioned=1&p=3", buf)
+	var meta map[string]any
+	json.NewDecoder(resp.Body).Decode(&meta)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("partitioned register: %d: %v", resp.StatusCode, meta)
+	}
+	id := meta["id"].(string)
+	_, refMeta := postJSON(t, h.ref.URL+"/v1/graphs", body)
+	refID := refMeta["id"].(string)
+
+	const q = "p=3&precision=12&seed=7"
+	_, want := fetchSketch(t, h.ref.URL, refID, q)
+	if st, got := fetchSketch(t, h.gw.URL, id, q); st != http.StatusOK || string(got) != string(want) {
+		t.Fatalf("merged sketch differs before failover (status %d)", st)
+	}
+
+	h.nodes[h.names[0]].Close()
+	st, got := fetchSketch(t, h.gw.URL, id, q)
+	if st != http.StatusOK {
+		t.Fatalf("post-failover sketch: status %d: %s", st, got)
+	}
+	if string(got) != string(want) {
+		t.Fatal("merged sketch differs after killing one node")
+	}
+}

@@ -1,0 +1,200 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kplist"
+	"kplist/internal/sketch"
+)
+
+// estimateWire mirrors the mode=estimate response body.
+type estimateWire struct {
+	Graph        string  `json:"graph"`
+	P            int     `json:"p"`
+	Estimate     float64 `json:"estimate"`
+	CILo         float64 `json:"ci_lo"`
+	CIHi         float64 `json:"ci_hi"`
+	Method       string  `json:"method"`
+	Exact        bool    `json:"exact"`
+	Eps          float64 `json:"eps"`
+	Conf         float64 `json:"conf"`
+	Samples      int     `json:"samples"`
+	Precision    int     `json:"precision"`
+	StaleRebuilt bool    `json:"staleRebuilt"`
+}
+
+func estTruth(t *testing.T, g *kplist.Graph, p int) float64 {
+	t.Helper()
+	s := kplist.NewSession(g, kplist.SessionConfig{})
+	defer s.Close()
+	return float64(len(s.GroundTruth(p)))
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	id, inst := registerWorkload(t, ts.URL, 96, 31)
+	truth := estTruth(t, inst.G, 3)
+
+	// Unbudgeted default: the planner answers exactly.
+	resp, body := postJSON(t, ts.URL+"/v1/graphs/"+id+"/query?mode=estimate", map[string]any{"p": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: status %d body %s", resp.StatusCode, body)
+	}
+	var er estimateWire
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Exact || er.Method != "exact" || er.Estimate != truth {
+		t.Fatalf("unbudgeted estimate: %+v (truth %v)", er, truth)
+	}
+
+	// Forced estimator paths must label themselves inexact and cover truth.
+	for _, method := range []string{"hll", "sample"} {
+		resp, body := postJSON(t,
+			ts.URL+"/v1/graphs/"+id+"/query?mode=estimate&method="+method+"&eps=0.05&conf=0.99&samples=2048",
+			map[string]any{"p": 3, "seed": 7})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d body %s", method, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if er.Exact || er.Method != method {
+			t.Fatalf("%s: mislabelled %+v", method, er)
+		}
+		if truth < er.CILo || truth > er.CIHi {
+			t.Fatalf("%s: CI [%v, %v] misses truth %v (estimate %v)",
+				method, er.CILo, er.CIHi, truth, er.Estimate)
+		}
+	}
+
+	// A tight budget steers the planner off the exact kernel — on a graph
+	// dense enough that the priced exact cost clears the 1ms floor.
+	spec := kplist.DefaultWorkloadSpec(kplist.WorkloadStochasticBlock, 384, 9)
+	resp, body = postJSON(t, ts.URL+"/v1/graphs", map[string]any{"workload": spec})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register dense: status %d body %s", resp.StatusCode, body)
+	}
+	var dense struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &dense); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/graphs/"+dense.ID+"/query?mode=estimate&budget_ms=1&samples=256",
+		map[string]any{"p": 4, "seed": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budgeted: status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Exact {
+		t.Fatalf("budgeted estimate answered exactly: %+v", er)
+	}
+
+	// The method mix lands on /metrics.
+	resp, body = get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		`kplistd_estimate_queries_total{method="exact"} 1`,
+		`kplistd_estimate_queries_total{method="hll"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestEstimateEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	id, _ := registerWorkload(t, ts.URL, 48, 5)
+	cases := []struct {
+		name, url string
+		body      any
+	}{
+		{"unknown mode", "/query?mode=guess", map[string]any{"p": 3}},
+		{"batch body", "/query?mode=estimate", map[string]any{"queries": []map[string]any{{"p": 3}}}},
+		{"bad p", "/query?mode=estimate", map[string]any{"p": 2}},
+		{"bad eps", "/query?mode=estimate&eps=nope", map[string]any{"p": 3}},
+		{"negative eps", "/query?mode=estimate&eps=-0.1", map[string]any{"p": 3}},
+		{"bad conf", "/query?mode=estimate&conf=1.5", map[string]any{"p": 3}},
+		{"bad budget", "/query?mode=estimate&budget_ms=-5", map[string]any{"p": 3}},
+		{"bad method", "/query?mode=estimate&method=guess", map[string]any{"p": 3}},
+		{"bad precision", "/query?mode=estimate&precision=99&method=hll", map[string]any{"p": 3}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/graphs/"+id+tc.url, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestSketchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	id, inst := registerWorkload(t, ts.URL, 96, 31)
+
+	resp, body := get(t, ts.URL+"/v1/graphs/"+id+"/sketch?p=3&precision=12&seed=7")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sketch: status %d body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	if got := resp.Header.Get("X-Kplist-Sketch-Precision"); got != "12" {
+		t.Fatalf("precision header %q", got)
+	}
+	if got := resp.Header.Get("X-Kplist-Sketch-Seed"); got != "7" {
+		t.Fatalf("seed header %q", got)
+	}
+	var h sketch.CliqueHLL
+	if err := h.UnmarshalBinary(body); err != nil {
+		t.Fatalf("served sketch does not decode: %v", err)
+	}
+
+	// The served bytes equal a sketch built directly over the same graph:
+	// the codec is deterministic in the distinct-clique set.
+	want, err := sketch.NewCliqueHLL(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.InscribeGraph(inst.G, 3)
+	wb, _ := want.MarshalBinary()
+	if string(body) != string(wb) {
+		t.Fatal("served sketch differs from a direct build over the same graph")
+	}
+
+	// precision=0 resolves from eps/conf like the estimate path.
+	resp, _ = get(t, ts.URL+"/v1/graphs/"+id+"/sketch?p=3&seed=7&eps=0.02&conf=0.95")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eps sketch: status %d", resp.StatusCode)
+	}
+	wantPrec := sketch.PrecisionForEps(0.02, 0.95)
+	if got := resp.Header.Get("X-Kplist-Sketch-Precision"); got != strconv.Itoa(wantPrec) {
+		t.Fatalf("eps-resolved precision header %q, want %d", got, wantPrec)
+	}
+
+	// Parameter validation.
+	for _, u := range []string{
+		"/sketch",            // missing p
+		"/sketch?p=0",        // invalid p
+		"/sketch?p=3&seed=x", // bad seed
+		"/sketch?p=3&eps=x",  // bad eps
+		"/sketch?p=3&precision=99",
+	} {
+		resp, body := get(t, ts.URL+"/v1/graphs/"+id+u)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", u, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := get(t, ts.URL+"/v1/graphs/nope/sketch?p=3"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing graph: status %d, want 404", resp.StatusCode)
+	}
+}

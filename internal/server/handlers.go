@@ -267,6 +267,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "exact":
+	case "estimate":
+		// The approximate tier (estimate.go): answer with a point
+		// estimate + confidence interval instead of exact enumeration.
+		s.handleEstimate(w, r, id, rg)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", mode))
+		return
+	}
 	var req queryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {

@@ -166,6 +166,12 @@ type metrics struct {
 	compactions        int64
 	compactionFailures int64
 
+	// Estimate-path counters: mode=estimate queries split by the method
+	// that answered (exact / hll / sample) — the planner's decision mix is
+	// the operator's signal that budgets actually steer work off the exact
+	// kernel.
+	estimates map[string]int64
+
 	// Cluster counters: replica-apply batches accepted from a gateway, and
 	// unmarked requests refused because this node does not host the graph.
 	// Duplicates are sequence-tagged replica applies acknowledged without
@@ -179,9 +185,10 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		started:  time.Now(),
-		requests: make(map[string]map[int]int64),
-		latency:  make(map[string]*histogram),
+		started:   time.Now(),
+		requests:  make(map[string]map[int]int64),
+		latency:   make(map[string]*histogram),
+		estimates: make(map[string]int64),
 		mutLatency: &histogram{
 			buckets: make([]int64, len(latencyBounds)+1),
 		},
@@ -245,6 +252,13 @@ func (m *metrics) recordMisdirect() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.misdirected++
+}
+
+// recordEstimate accounts one mode=estimate query by answering method.
+func (m *metrics) recordEstimate(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.estimates[method]++
 }
 
 // recordMutation accounts one applied mutation batch.
@@ -384,6 +398,22 @@ func (m *metrics) render(w *strings.Builder, gauges map[string]float64) {
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_sum %g\n", h.sum)
 		fmt.Fprintf(w, "kplistd_mutation_apply_seconds_count %d\n", h.count)
+	}
+
+	fmt.Fprintf(w, "# TYPE kplistd_estimate_queries_total counter\n")
+	// The three planner methods always render (zero included) so dashboards
+	// see a stable label set from first scrape.
+	methods := []string{"exact", "hll", "sample"}
+	for method := range m.estimates {
+		switch method {
+		case "exact", "hll", "sample":
+		default:
+			methods = append(methods, method)
+		}
+	}
+	sort.Strings(methods)
+	for _, method := range methods {
+		fmt.Fprintf(w, "kplistd_estimate_queries_total{method=%q} %d\n", method, m.estimates[method])
 	}
 
 	fmt.Fprintf(w, "# TYPE kplistd_replica_applies_total counter\n")

@@ -194,6 +194,7 @@ func Open(cfg Config) (*Server, error) {
 	s.route("DELETE /v1/graphs/{id}", s.clusterGate(http.HandlerFunc(s.handleDelete), true), true)
 	s.route("POST /v1/graphs/{id}/query", s.clusterGate(http.HandlerFunc(s.handleQuery), false), true)
 	s.route("GET /v1/graphs/{id}/cliques", s.clusterGate(http.HandlerFunc(s.handleCliques), false), true)
+	s.route("GET /v1/graphs/{id}/sketch", s.clusterGate(http.HandlerFunc(s.handleSketch), false), true)
 	s.route("PATCH /v1/graphs/{id}/edges", s.clusterGate(http.HandlerFunc(s.handlePatchEdges), true), true)
 	s.route("PATCH /v1/graphs/{id}/replica", http.HandlerFunc(s.handleReplicaApply), true)
 	s.route("GET /v1/graphs/{id}/digest", s.clusterGate(http.HandlerFunc(s.handleDigest), false), true)

@@ -1,0 +1,230 @@
+package sketch_test
+
+// The statistical acceptance suite (ISSUE 10): the advertised (ε,
+// confidence) guarantees of the approximate query tier are pinned
+// empirically, per workload family × clique size, over a fully
+// deterministic seed schedule — ≥ 200 trials each in full mode, a
+// 20-trial smoke under -short. Coverage must meet the advertised
+// confidence with a binomial-noise margin (≥ 93% observed for conf=0.95)
+// and the relative error must meet the advertised ε at the advertised
+// sample size / precision.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kplist/internal/graph"
+	"kplist/internal/sketch"
+	"kplist/internal/workload"
+)
+
+const (
+	boundsN    = 96   // instance size per family
+	boundsConf = 0.95 // advertised two-sided confidence
+
+	// Advertised sampling contract: at sampleSize edge samples the
+	// relative error stays within sampleEps(p) at boundsConf.
+	sampleSize = 1024
+
+	// Advertised sketch contract: at hllPrecision the estimate stays
+	// within z·1.04/√m relative error at boundsConf.
+	hllPrecision = 12
+)
+
+// sampleEps is the advertised relative-error bound at sampleSize samples;
+// rarer cliques (larger p at n=96) are noisier per sample.
+func sampleEps(p int) float64 {
+	switch p {
+	case 3:
+		return 0.20
+	case 4:
+		return 0.30
+	default:
+		return 0.50
+	}
+}
+
+// trialPlan returns the deterministic trial schedule — graphs × estimator
+// seeds (200 trials full, 20-trial smoke under -short) — and the observed
+// acceptance floor. The full run pins the statistical claim at ≥ 93%
+// observed for conf=0.95; the smoke has too few trials for that margin
+// (one miss in ten is 90%) so it only guards the plumbing at 80%.
+func trialPlan(t *testing.T) (graphs, seeds int, floor float64) {
+	if testing.Short() {
+		return 2, 10, 0.80
+	}
+	_ = t
+	return 10, 20, 0.93
+}
+
+// boundsInstances generates the fixed per-family graph schedule and the
+// exact clique counts the trials compare against.
+func boundsInstances(t *testing.T, family string, p, graphs int) ([]*graph.Graph, []float64) {
+	t.Helper()
+	gs := make([]*graph.Graph, graphs)
+	truth := make([]float64, graphs)
+	for i := range gs {
+		inst, err := workload.Generate(workload.DefaultSpec(family, boundsN, int64(1000+i)))
+		if err != nil {
+			t.Fatalf("generate %s: %v", family, err)
+		}
+		gs[i] = inst.G
+		truth[i] = float64(inst.G.CountCliques(p))
+	}
+	return gs, truth
+}
+
+// assertRates applies the acceptance floors: CI coverage ≥ minCoverage,
+// and (when any trial had a nonzero truth) relative error within the
+// advertised eps at the same floor.
+func assertRates(t *testing.T, label string, covered, trials, relOK, relTrials int, eps, floor float64) {
+	t.Helper()
+	if trials == 0 {
+		t.Fatal("no trials ran")
+	}
+	if rate := float64(covered) / float64(trials); rate < floor {
+		t.Errorf("%s: CI coverage %.1f%% (%d/%d) below the advertised %.0f%% floor",
+			label, 100*rate, covered, trials, 100*floor)
+	}
+	if relTrials > 0 {
+		if rate := float64(relOK) / float64(relTrials); rate < floor {
+			t.Errorf("%s: relative error ≤ %.2f held in only %.1f%% (%d/%d) of trials",
+				label, eps, 100*rate, relOK, relTrials)
+		}
+	}
+}
+
+// TestSamplingBounds pins the edge-sampling estimator's contract for every
+// workload family × p ∈ {3, 4, 5}.
+func TestSamplingBounds(t *testing.T) {
+	graphs, seeds, floor := trialPlan(t)
+	for _, family := range workload.Families() {
+		for _, p := range []int{3, 4, 5} {
+			family, p := family, p
+			t.Run(fmt.Sprintf("%s/p%d", family, p), func(t *testing.T) {
+				t.Parallel()
+				gs, truth := boundsInstances(t, family, p, graphs)
+				eps := sampleEps(p)
+				var covered, trials, relOK, relTrials int
+				for i, g := range gs {
+					for s := 0; s < seeds; s++ {
+						r, err := sketch.RunSample(context.Background(), g, sketch.SampleConfig{
+							P: p, Seed: int64(7000 + 100*i + s), Samples: sampleSize, Conf: boundsConf,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						trials++
+						if truth[i] >= r.CILo && truth[i] <= r.CIHi {
+							covered++
+						}
+						if truth[i]*eps >= 2 { // ε spans ≥ 2 cliques: quantization noise is sub-ε
+							relTrials++
+							if math.Abs(r.Estimate-truth[i])/truth[i] <= eps {
+								relOK++
+							}
+						}
+					}
+				}
+				assertRates(t, fmt.Sprintf("%s p=%d sampling", family, p), covered, trials, relOK, relTrials, eps, floor)
+			})
+		}
+	}
+}
+
+// TestHLLBounds pins the sketch's contract — at hllPrecision the estimate
+// of the distinct-clique count stays within z·σ of truth at boundsConf —
+// for every workload family × p ∈ {3, 4, 5}.
+func TestHLLBounds(t *testing.T) {
+	graphs, seeds, floor := trialPlan(t)
+	eps := sketch.ZScore(boundsConf) * 1.04 / math.Sqrt(float64(int(1)<<hllPrecision))
+	for _, family := range workload.Families() {
+		for _, p := range []int{3, 4, 5} {
+			family, p := family, p
+			t.Run(fmt.Sprintf("%s/p%d", family, p), func(t *testing.T) {
+				t.Parallel()
+				gs, truth := boundsInstances(t, family, p, graphs)
+				// Collect each graph's clique keys once; trials re-inscribe
+				// them under different hash seeds.
+				keys := make([][][]byte, len(gs))
+				for i, g := range gs {
+					g.VisitCliques(p, func(c graph.Clique) {
+						keys[i] = append(keys[i], c.AppendKey(nil))
+					})
+				}
+				var covered, trials, relOK, relTrials int
+				for i := range gs {
+					for s := 0; s < seeds; s++ {
+						h, err := sketch.NewCliqueHLL(hllPrecision, int64(9000+100*i+s))
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, k := range keys[i] {
+							h.InscribeKey(k)
+						}
+						lo, hi := h.ConfidenceInterval(boundsConf)
+						trials++
+						if truth[i] >= lo && truth[i] <= hi {
+							covered++
+						}
+						if truth[i]*eps >= 2 { // ε spans ≥ 2 cliques: quantization noise is sub-ε
+							relTrials++
+							if math.Abs(h.Estimate()-truth[i])/truth[i] <= eps {
+								relOK++
+							}
+						}
+					}
+				}
+				assertRates(t, fmt.Sprintf("%s p=%d hll", family, p), covered, trials, relOK, relTrials, eps, floor)
+			})
+		}
+	}
+}
+
+// TestEstimateBudgetDenseGraph is the budget acceptance criterion: on a
+// dense G(2048, 0.3) the p=4 estimate answers within its budget while the
+// exact path provably exceeds 10× the estimator's elapsed time.
+func TestEstimateBudgetDenseGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense-graph budget check skipped in -short")
+	}
+	g := graph.ErdosRenyi(2048, 0.3, rand.New(rand.NewSource(11)))
+	const budget = 500 * time.Millisecond
+
+	start := time.Now()
+	r, err := sketch.RunSample(context.Background(), g, sketch.SampleConfig{
+		P: 4, Seed: 1, Eps: 0.1, Conf: boundsConf, Budget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estElapsed := time.Since(start)
+	if r.Samples == 0 || !(r.CILo <= r.Estimate && r.Estimate <= r.CIHi) {
+		t.Fatalf("degenerate estimate: %+v", r)
+	}
+	if estElapsed > budgetSlack*budget { // generous slack for CI-runner noise
+		t.Fatalf("estimate took %v, over the %v budget", estElapsed, budget)
+	}
+
+	// Drive the exact kernel with an early stop at 10× the budget:
+	// completing under the wire would falsify the criterion, and the early
+	// stop keeps the test bounded either way.
+	allowance := 10 * budget
+	exactStart := time.Now()
+	deadline := exactStart.Add(allowance)
+	var seen int64
+	completed := g.VisitCliquesUntil(4, func(graph.Clique) bool {
+		seen++
+		return seen%(1<<16) != 0 || time.Now().Before(deadline)
+	})
+	exactElapsed := time.Since(exactStart)
+	if completed && exactElapsed < allowance {
+		t.Fatalf("exact path finished in %v < 10× the %v budget — criterion falsified", exactElapsed, budget)
+	}
+	t.Logf("estimate %v in %v (%d samples, CI [%v, %v]); exact stopped after %d cliques at %v",
+		r.Estimate, estElapsed, r.Samples, r.CILo, r.CIHi, seen, exactElapsed)
+}

@@ -1,0 +1,103 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCliqueHLLMerge splits an arbitrary byte stream into single-byte keys
+// over an alphabet of ≤ 32 values, inscribes them into two sketches in an
+// input-chosen interleaving, and checks merge algebra against a
+// brute-force distinct count: merge is commutative and idempotent, merging
+// equals inscribing the union, and the linear-counting estimate tracks the
+// true distinct count on these tiny sets.
+func FuzzCliqueHLLMerge(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 251}, int64(42))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), int64(-7))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		const precision = 10
+		a, err := NewCliqueHLL(precision, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewCliqueHLL(precision, seed)
+		union, _ := NewCliqueHLL(precision, seed)
+		distinct := map[byte]bool{}
+		for i, raw := range data {
+			key := []byte{raw & 31} // alphabet of 32 distinct keys
+			distinct[key[0]] = true
+			union.InscribeKey(key)
+			// The interleaving comes from the input's high bits.
+			if raw&128 != 0 || i%2 == 0 {
+				a.InscribeKey(key)
+			} else {
+				b.InscribeKey(key)
+			}
+		}
+		ab := a.Clone()
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		ba := b.Clone()
+		if err := ba.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if !ab.Equal(ba) {
+			t.Fatal("merge is not commutative")
+		}
+		if !ab.Equal(union) {
+			t.Fatal("merge(a, b) differs from the sketch of the union")
+		}
+		if err := ab.Merge(ba); err != nil || !ab.Equal(union) {
+			t.Fatalf("merge is not idempotent (err %v)", err)
+		}
+		// n ≤ 32 ≪ 1024 registers: squarely in the linear-counting regime,
+		// where the estimate deviates from truth only by register
+		// collisions — generously bounded here.
+		n := float64(len(distinct))
+		if est := ab.Estimate(); math.Abs(est-n) > 0.35*n+3 {
+			t.Fatalf("distinct %v estimated as %v", n, est)
+		}
+	})
+}
+
+// FuzzSketchCodec throws arbitrary bytes at UnmarshalBinary (must reject or
+// decode, never panic; a successful decode must re-marshal byte-identically)
+// and round-trips a sketch built from the input.
+func FuzzSketchCodec(f *testing.F) {
+	h, _ := NewCliqueHLL(8, 3)
+	h.InscribeKey([]byte("seed"))
+	valid, _ := h.MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("KPHL"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var decoded CliqueHLL
+		if err := decoded.UnmarshalBinary(data); err == nil {
+			re, err := decoded.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(re) != string(data) {
+				t.Fatal("accepted encoding is not canonical")
+			}
+		}
+		// Round-trip a sketch inscribed from the raw input.
+		src, _ := NewCliqueHLL(MinPrecision, int64(len(data)))
+		for i := 0; i+2 <= len(data); i += 2 {
+			src.InscribeKey(data[i : i+2])
+		}
+		enc, err := src.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got CliqueHLL
+		if err := got.UnmarshalBinary(enc); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(src) {
+			t.Fatal("round trip lost registers")
+		}
+	})
+}

@@ -1,0 +1,320 @@
+// Package sketch is the approximate query tier (DESIGN.md §14): fixed-size
+// HyperLogLog fingerprints of the distinct-clique set, seeded edge-sampling
+// clique-count estimators with confidence intervals, and the planner that
+// picks exact kernel vs sketch vs sampling from degeneracy, p, m and a
+// per-request cost budget. Everything here is deterministic under a seed:
+// the statistical acceptance suite (bounds_test.go) replays fixed seed
+// schedules and pins the advertised (ε, confidence) guarantees empirically.
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+
+	"kplist/internal/graph"
+)
+
+// Precision bounds for CliqueHLL: 2^4 = 16 registers (σ ≈ 26%) up to
+// 2^16 = 65536 registers (σ ≈ 0.41%, 64 KiB — plenty below the clique
+// populations this service meets).
+const (
+	MinPrecision = 4
+	MaxPrecision = 16
+)
+
+// hllRelConst is the HLL standard-error constant: σ ≈ 1.04/√m.
+const hllRelConst = 1.04
+
+// Codec framing for MarshalBinary: magic, one version byte, one precision
+// byte, the 8-byte seed, the registers, and a trailing CRC32 (IEEE) over
+// everything before it. Deliberately no inscription counters: two sketches
+// over the same distinct set serialize identically, which is what makes the
+// gateway's register-wise merge byte-reproducible against a single node.
+var codecMagic = [4]byte{'K', 'P', 'H', 'L'}
+
+const codecVersion = 1
+
+// ErrCorruptSketch is wrapped by every UnmarshalBinary rejection.
+var ErrCorruptSketch = errors.New("sketch: corrupt encoding")
+
+// ErrIncompatible is returned by Merge when precisions or seeds differ.
+var ErrIncompatible = errors.New("sketch: incompatible sketches")
+
+// CliqueHLL is a HyperLogLog fingerprint of a distinct-clique set: 2^p
+// one-byte registers fed by a seeded 64-bit hash of each clique's canonical
+// key (Clique.AppendKey bytes). Inscription is idempotent and merge is
+// register-wise max, so re-inscribing a clique — or merging shard sketches
+// whose clique sets overlap — never double counts. Not safe for concurrent
+// mutation; the serving layer publishes immutable snapshots.
+type CliqueHLL struct {
+	precision uint8
+	seed      int64
+	regs      []uint8
+	scratch   []byte
+}
+
+// NewCliqueHLL builds an empty sketch with 2^precision registers. The seed
+// perturbs the hash so independent trials (and the statistical suite) see
+// independent register processes; sketches merge only when both precision
+// and seed agree.
+func NewCliqueHLL(precision int, seed int64) (*CliqueHLL, error) {
+	if precision < MinPrecision || precision > MaxPrecision {
+		return nil, fmt.Errorf("sketch: precision %d outside [%d, %d]", precision, MinPrecision, MaxPrecision)
+	}
+	return &CliqueHLL{
+		precision: uint8(precision),
+		seed:      seed,
+		regs:      make([]uint8, 1<<precision),
+	}, nil
+}
+
+// DefaultEps and DefaultConf are the service-wide estimate defaults: every
+// layer (Session, kplistd, gateway) resolves an unspecified (eps, conf) to
+// these, so a default GET /sketch and a default ?mode=estimate ride the
+// same maintained sketch.
+const (
+	DefaultEps  = 0.05
+	DefaultConf = 0.95
+)
+
+// PrecisionForEps returns the smallest precision whose z·σ relative error
+// at the given two-sided confidence stays within eps, clamped to
+// [MinPrecision, MaxPrecision]. eps ≤ 0 or conf outside (0, 1) take
+// DefaultEps/DefaultConf.
+func PrecisionForEps(eps, conf float64) int {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	z := ZScore(conf)
+	// z·1.04/√m ≤ eps  ⇔  m ≥ (z·1.04/eps)².
+	need := hllRelConst * z / eps
+	m := need * need
+	for p := MinPrecision; p <= MaxPrecision; p++ {
+		if float64(int(1)<<p) >= m {
+			return p
+		}
+	}
+	return MaxPrecision
+}
+
+// ZScore is the two-sided standard-normal quantile for a confidence level:
+// the z with P(|N(0,1)| ≤ z) = conf. Out-of-range confidences take 0.95.
+func ZScore(conf float64) float64 {
+	if !(conf > 0 && conf < 1) {
+		conf = 0.95
+	}
+	return math.Sqrt2 * math.Erfinv(conf)
+}
+
+// Precision returns the register-count exponent (m = 2^Precision).
+func (h *CliqueHLL) Precision() int { return int(h.precision) }
+
+// Seed returns the hash seed the sketch was built with.
+func (h *CliqueHLL) Seed() int64 { return h.seed }
+
+// Registers returns the register count m.
+func (h *CliqueHLL) Registers() int { return len(h.regs) }
+
+// StdError is the sketch's relative standard error, 1.04/√m.
+func (h *CliqueHLL) StdError() float64 {
+	return hllRelConst / math.Sqrt(float64(len(h.regs)))
+}
+
+// fmix64 is the 64-bit avalanche finalizer (splitmix64/Murmur3 style); it
+// spreads the FNV prefix sum over all 64 bits so both the register index
+// (top bits) and the rank pattern (low bits) are well mixed.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// hashKey is the seeded 64-bit hash of a clique key: FNV-1a over the bytes
+// folded with the seed, then finalized.
+func (h *CliqueHLL) hashKey(key []byte) uint64 {
+	x := uint64(fnvOffset) ^ fmix64(uint64(h.seed))
+	for _, b := range key {
+		x ^= uint64(b)
+		x *= fnvPrime
+	}
+	return fmix64(x)
+}
+
+// InscribeKey records one canonical clique key (idempotent).
+func (h *CliqueHLL) InscribeKey(key []byte) {
+	x := h.hashKey(key)
+	idx := x >> (64 - h.precision)
+	rest := x << h.precision
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if max := uint8(64 - h.precision + 1); rank > max {
+		rank = max
+	}
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Inscribe records one clique via its zero-alloc canonical key. The
+// clique must be sorted (every producer in this repository sorts).
+func (h *CliqueHLL) Inscribe(c graph.Clique) {
+	h.scratch = c.AppendKey(h.scratch[:0])
+	h.InscribeKey(h.scratch)
+}
+
+// InscribeGraph inscribes every p-clique of g through the kernel's
+// streaming visitor — the from-scratch build (and lazy rebuild) path.
+func (h *CliqueHLL) InscribeGraph(g *graph.Graph, p int) {
+	g.VisitCliques(p, h.Inscribe)
+}
+
+// Merge folds other into h register-wise (max). Because max is
+// commutative, associative and idempotent, merging per-shard sketches of
+// overlapping clique sets equals the sketch of their union — the property
+// the gateway's scatter–gather estimate path relies on.
+func (h *CliqueHLL) Merge(other *CliqueHLL) error {
+	if other == nil || other.precision != h.precision || other.seed != h.seed {
+		return fmt.Errorf("%w: precision/seed mismatch", ErrIncompatible)
+	}
+	for i, r := range other.regs {
+		if r > h.regs[i] {
+			h.regs[i] = r
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the sketch.
+func (h *CliqueHLL) Clone() *CliqueHLL {
+	cp := &CliqueHLL{precision: h.precision, seed: h.seed, regs: make([]uint8, len(h.regs))}
+	copy(cp.regs, h.regs)
+	return cp
+}
+
+// Equal reports whether two sketches have identical parameters and
+// registers (⇔ identical MarshalBinary bytes).
+func (h *CliqueHLL) Equal(other *CliqueHLL) bool {
+	if other == nil || h.precision != other.precision || h.seed != other.seed {
+		return false
+	}
+	for i, r := range h.regs {
+		if other.regs[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Estimate returns the distinct-clique cardinality estimate: the standard
+// bias-corrected harmonic mean with the linear-counting correction in the
+// small range (E ≤ 2.5m with empty registers). The 64-bit hash needs no
+// large-range correction at any cardinality this service can hold.
+func (h *CliqueHLL) Estimate() float64 {
+	m := float64(len(h.regs))
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += math.Ldexp(1, -int(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha(len(h.regs)) * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(m/float64(zeros))
+	}
+	return e
+}
+
+// ConfidenceInterval returns the two-sided interval around Estimate at the
+// given confidence: the z·σ normal approximation on the relative error,
+// widened by one absolute unit — in the small-range (linear counting)
+// regime the estimate moves in whole-register steps, so a purely relative
+// interval narrower than one clique would miss on a single register
+// collision. The lower bound is clamped at 0.
+func (h *CliqueHLL) ConfidenceInterval(conf float64) (lo, hi float64) {
+	est := h.Estimate()
+	half := ZScore(conf)*h.StdError()*est + 1
+	lo = est - half
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, est + half
+}
+
+// alpha is the HLL bias-correction constant for m registers.
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/float64(m))
+}
+
+// MarshalBinary encodes the sketch as magic | version | precision | seed |
+// registers | crc32. Two sketches over the same distinct-clique set encode
+// byte-identically (no counters, no timestamps).
+func (h *CliqueHLL) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 4+1+1+8+len(h.regs)+4)
+	out = append(out, codecMagic[:]...)
+	out = append(out, codecVersion, h.precision)
+	out = binary.BigEndian.AppendUint64(out, uint64(h.seed))
+	out = append(out, h.regs...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// UnmarshalBinary decodes MarshalBinary output, rejecting (wrapping
+// ErrCorruptSketch) any framing, parameter, length or checksum violation.
+func (h *CliqueHLL) UnmarshalBinary(data []byte) error {
+	const header = 4 + 1 + 1 + 8
+	if len(data) < header+4 {
+		return fmt.Errorf("%w: %d bytes is shorter than the minimal frame", ErrCorruptSketch, len(data))
+	}
+	if [4]byte(data[:4]) != codecMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorruptSketch, data[:4])
+	}
+	if data[4] != codecVersion {
+		return fmt.Errorf("%w: unknown version %d", ErrCorruptSketch, data[4])
+	}
+	precision := data[5]
+	if precision < MinPrecision || precision > MaxPrecision {
+		return fmt.Errorf("%w: precision %d outside [%d, %d]", ErrCorruptSketch, precision, MinPrecision, MaxPrecision)
+	}
+	m := 1 << precision
+	if len(data) != header+m+4 {
+		return fmt.Errorf("%w: %d bytes for precision %d (want %d)", ErrCorruptSketch, len(data), precision, header+m+4)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.BigEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("%w: checksum %08x != %08x", ErrCorruptSketch, got, want)
+	}
+	maxRank := uint8(64 - precision + 1)
+	regs := make([]uint8, m)
+	for i, r := range data[header : header+m] {
+		if r > maxRank {
+			return fmt.Errorf("%w: register %d holds rank %d > max %d", ErrCorruptSketch, i, r, maxRank)
+		}
+		regs[i] = r
+	}
+	h.precision = precision
+	h.seed = int64(binary.BigEndian.Uint64(data[6:14]))
+	h.regs = regs
+	h.scratch = nil
+	return nil
+}

@@ -1,0 +1,231 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kplist/internal/graph"
+)
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+func mustHLL(t *testing.T, precision int, seed int64) *CliqueHLL {
+	t.Helper()
+	h, err := NewCliqueHLL(precision, seed)
+	if err != nil {
+		t.Fatalf("NewCliqueHLL(%d, %d): %v", precision, seed, err)
+	}
+	return h
+}
+
+func TestNewCliqueHLLValidatesPrecision(t *testing.T) {
+	for _, p := range []int{-1, 0, MinPrecision - 1, MaxPrecision + 1} {
+		if _, err := NewCliqueHLL(p, 1); err == nil {
+			t.Errorf("precision %d: want error", p)
+		}
+	}
+	h := mustHLL(t, MinPrecision, 7)
+	if h.Registers() != 1<<MinPrecision || h.Precision() != MinPrecision || h.Seed() != 7 {
+		t.Fatalf("accessors: %d regs, precision %d, seed %d", h.Registers(), h.Precision(), h.Seed())
+	}
+}
+
+func TestZScore(t *testing.T) {
+	if z := ZScore(0.95); math.Abs(z-1.9600) > 0.001 {
+		t.Errorf("ZScore(0.95) = %v, want ≈1.96", z)
+	}
+	if z := ZScore(0.99); math.Abs(z-2.5758) > 0.001 {
+		t.Errorf("ZScore(0.99) = %v, want ≈2.576", z)
+	}
+	if z := ZScore(-1); z != ZScore(0.95) {
+		t.Errorf("out-of-range conf should default to 0.95")
+	}
+}
+
+func TestPrecisionForEps(t *testing.T) {
+	// Tighter eps needs more registers; the chosen precision must satisfy
+	// z·σ ≤ eps unless clamped at MaxPrecision.
+	prev := 0
+	for _, eps := range []float64{0.5, 0.2, 0.1, 0.05, 0.02, 0.01} {
+		p := PrecisionForEps(eps, 0.95)
+		if p < prev {
+			t.Errorf("PrecisionForEps(%v) = %d shrank below %d", eps, p, prev)
+		}
+		prev = p
+		if p < MaxPrecision {
+			if got := ZScore(0.95) * hllRelConst / math.Sqrt(float64(int(1)<<p)); got > eps {
+				t.Errorf("eps %v: precision %d gives z·σ = %v > eps", eps, p, got)
+			}
+		}
+	}
+	if p := PrecisionForEps(0, 0); p < MinPrecision || p > MaxPrecision {
+		t.Errorf("default precision %d out of range", p)
+	}
+	if p := PrecisionForEps(1e-9, 0.95); p != MaxPrecision {
+		t.Errorf("unsatisfiable eps should clamp to MaxPrecision, got %d", p)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// Distinct random keys: the estimate must land within ~4σ of truth at
+	// each precision, and small cardinalities (linear counting) near-exact.
+	rng := rand.New(rand.NewSource(1))
+	for _, precision := range []int{8, 12, 14} {
+		for _, n := range []int{0, 1, 50, 2000, 200000} {
+			h := mustHLL(t, precision, 42)
+			buf := make([]byte, 8)
+			for i := 0; i < n; i++ {
+				rng.Read(buf)
+				h.InscribeKey(buf)
+			}
+			est := h.Estimate()
+			if n == 0 {
+				if est != 0 {
+					t.Errorf("empty sketch estimate %v", est)
+				}
+				continue
+			}
+			tol := 4 * h.StdError() * float64(n)
+			if float64(n) < 0.1*float64(h.Registers()) {
+				tol = math.Max(tol/4, 2) // linear-counting regime is near-exact
+			}
+			if math.Abs(est-float64(n)) > tol {
+				t.Errorf("precision %d, n=%d: estimate %.1f off by more than %.1f", precision, n, est, tol)
+			}
+		}
+	}
+}
+
+func TestInscribeIdempotent(t *testing.T) {
+	h1 := mustHLL(t, 10, 3)
+	h2 := mustHLL(t, 10, 3)
+	c := graph.Clique{1, 5, 9}
+	h1.Inscribe(c)
+	for i := 0; i < 10; i++ {
+		h2.Inscribe(c)
+	}
+	if !h1.Equal(h2) {
+		t.Fatal("repeated inscription changed the sketch")
+	}
+}
+
+func TestMergeIsUnion(t *testing.T) {
+	a, b, u := mustHLL(t, 10, 9), mustHLL(t, 10, 9), mustHLL(t, 10, 9)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		key := fmt.Appendf(nil, "k%d", rng.Intn(2000)) // overlapping sets
+		if i%2 == 0 {
+			a.InscribeKey(key)
+		} else {
+			b.InscribeKey(key)
+		}
+		u.InscribeKey(key)
+	}
+	m := a.Clone()
+	if err := m.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(u) {
+		t.Fatal("merge(a, b) != sketch of union")
+	}
+	// Commutative.
+	m2 := b.Clone()
+	if err := m2.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Equal(m) {
+		t.Fatal("merge is not commutative")
+	}
+	// Idempotent.
+	if err := m.Merge(m2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(u) {
+		t.Fatal("merge is not idempotent")
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := mustHLL(t, 10, 1)
+	for _, b := range []*CliqueHLL{nil, mustHLL(t, 11, 1), mustHLL(t, 10, 2)} {
+		if err := a.Merge(b); !errors.Is(err, ErrIncompatible) {
+			t.Errorf("Merge(%v): got %v, want ErrIncompatible", b, err)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	h := mustHLL(t, 9, -12345)
+	for i := 0; i < 500; i++ {
+		h.InscribeKey(fmt.Appendf(nil, "key-%d", i))
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got CliqueHLL
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(h) {
+		t.Fatal("round trip lost registers")
+	}
+	// Byte-determinism: same distinct set, different inscription history.
+	h2 := mustHLL(t, 9, -12345)
+	for i := 499; i >= 0; i-- {
+		h2.InscribeKey(fmt.Appendf(nil, "key-%d", i))
+		h2.InscribeKey(fmt.Appendf(nil, "key-%d", i))
+	}
+	data2, _ := h2.MarshalBinary()
+	if string(data) != string(data2) {
+		t.Fatal("same distinct set must serialize byte-identically")
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	h := mustHLL(t, 8, 5)
+	h.InscribeKey([]byte("x"))
+	data, _ := h.MarshalBinary()
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       data[:10],
+		"truncated":   data[:len(data)-1],
+		"extended":    append(append([]byte{}, data...), 0),
+		"bad magic":   flip(data, 0),
+		"bad version": flip(data, 4),
+		"bad prec":    flip(data, 5),
+		"bad crc":     flip(data, len(data)-1),
+		"bad reg":     flip(data, 20),
+	}
+	for name, c := range cases {
+		var got CliqueHLL
+		if err := got.UnmarshalBinary(c); !errors.Is(err, ErrCorruptSketch) {
+			t.Errorf("%s: got %v, want ErrCorruptSketch", name, err)
+		}
+	}
+	// Oversized register rank with a recomputed checksum must still fail.
+	bad := append([]byte{}, data...)
+	bad[14] = 64 // rank > 64-8+1
+	var got CliqueHLL
+	if err := got.UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrCorruptSketch) {
+		t.Errorf("oversized rank: got %v, want ErrCorruptSketch", err)
+	}
+}
+
+func flip(data []byte, i int) []byte {
+	c := append([]byte{}, data...)
+	c[i] ^= 0xff
+	return c
+}
+
+// reseal recomputes the trailing CRC so payload corruption is what gets
+// tested, not the checksum.
+func reseal(data []byte) []byte {
+	h := crcOf(data[:len(data)-4])
+	out := append([]byte{}, data[:len(data)-4]...)
+	return append(out, byte(h>>24), byte(h>>16), byte(h>>8), byte(h))
+}

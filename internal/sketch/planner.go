@@ -1,0 +1,95 @@
+package sketch
+
+import "time"
+
+// The estimate-mode planner: given the graph's shape, the requested clique
+// size and a per-request cost budget, pick the cheapest method whose
+// answer quality fits. The exact kernel's work on a degeneracy-ordered
+// graph is O(m·d^(p−2)); the planner prices that against the budget with a
+// calibrated throughput constant and falls back to the sketch (when a
+// fresh one is already maintained — O(registers) to answer) or to edge
+// sampling (builds its answer within the remaining budget) otherwise.
+// DESIGN.md §14 has the decision table.
+
+// Methods the planner can pick (also accepted as explicit overrides).
+const (
+	MethodExact  = "exact"
+	MethodHLL    = "hll"
+	MethodSample = "sample"
+)
+
+// exactNsPerOp prices one unit of the kernel's O(m·d^(p−2)) work bound in
+// nanoseconds. Deliberately pessimistic (the bound is loose on real
+// graphs): when the model says "fits the budget", exact almost surely
+// does; when it says it doesn't, an estimator answers in bounded time
+// either way.
+const exactNsPerOp = 10
+
+// PlanInput is what the planner decides from.
+type PlanInput struct {
+	// N, M, Degeneracy and P describe the query: graph order, edge count,
+	// degeneracy, clique size.
+	N, M, Degeneracy, P int
+	// Budget is the per-request cost budget; 0 means unbudgeted (exact).
+	Budget time.Duration
+	// HasFreshSketch reports that a maintained, non-stale sketch for this
+	// (p, precision, seed) already exists — answering from it is O(m) in
+	// registers, the cheapest possible path.
+	HasFreshSketch bool
+	// Method, when one of the Method* constants, overrides the choice.
+	Method string
+}
+
+// Decision is the planner's verdict.
+type Decision struct {
+	// Method is one of MethodExact/MethodHLL/MethodSample.
+	Method string
+	// ExactCost is the modeled exact-kernel cost; Forced reports an
+	// explicit Method override bypassed the model.
+	ExactCost time.Duration
+	Forced    bool
+}
+
+// Plan picks the serving method. Decision order: an explicit override
+// wins; no budget (or a budget the modeled exact cost fits) means exact;
+// otherwise a fresh maintained sketch answers immediately; otherwise
+// sampling builds an interval within the budget.
+func Plan(in PlanInput) Decision {
+	d := Decision{ExactCost: exactCost(in)}
+	switch in.Method {
+	case MethodExact, MethodHLL, MethodSample:
+		d.Method, d.Forced = in.Method, true
+		return d
+	}
+	switch {
+	case in.Budget <= 0 || d.ExactCost <= in.Budget:
+		d.Method = MethodExact
+	case in.HasFreshSketch:
+		d.Method = MethodHLL
+	default:
+		d.Method = MethodSample
+	}
+	return d
+}
+
+// exactCost models the exact kernel's enumeration cost as
+// m·min(d, n)^(p−2) ops at exactNsPerOp, saturating instead of
+// overflowing for large p.
+func exactCost(in PlanInput) time.Duration {
+	const maxNs = float64(1<<62) / 2
+	base := float64(in.Degeneracy)
+	if base > float64(in.N) {
+		base = float64(in.N)
+	}
+	if base < 1 {
+		base = 1
+	}
+	ops := float64(in.M)
+	for i := 0; i < in.P-2; i++ {
+		ops *= base
+		if ops*exactNsPerOp > maxNs {
+			return time.Duration(maxNs)
+		}
+	}
+	return time.Duration(ops * exactNsPerOp)
+}

@@ -1,0 +1,219 @@
+package sketch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"kplist/internal/graph"
+)
+
+// Sampling estimator for the p-clique count. Every p-clique contains
+// exactly C(p,2) edges, so with X_e the number of p-cliques through a
+// uniformly random edge e, E[X] = C(p,2)·K_p/m and K̂ = m·mean(X)/C(p,2)
+// is unbiased. Each sample extends one edge through the kernel's frontier
+// primitive (Graph.VisitCliquesThroughEdge), so a sample costs local
+// enumeration around one edge — independent of the global clique count.
+//
+// The confidence interval is the tighter of Hoeffding and empirical
+// Bernstein (Maurer–Pontil), each at confidence 1−δ/2 so their minimum is
+// valid at 1−δ by the union bound. Both need a deterministic range bound
+// R ≥ max_e X_e; we use R = C(c*−1, p−2) with c* = max over edges of
+// min(deg u, deg v), computable in O(m): the p−2 companion vertices of an
+// edge's clique are common neighbors, and |N(u)∩N(v)| ≤ min(deg u, deg v)−1
+// for adjacent u, v.
+
+// SampleConfig configures one estimation run. The zero value of the
+// optional fields takes documented defaults.
+type SampleConfig struct {
+	// P is the clique size (≥ 3).
+	P int
+	// Seed drives the edge-sampling RNG; runs are deterministic in
+	// (graph, config).
+	Seed int64
+	// Samples, when > 0, draws exactly that many samples — the
+	// deterministic mode the statistical suite replays. When 0, sampling
+	// is adaptive: rounds double until the interval half-width is within
+	// Eps·estimate, MaxSamples is hit, or Budget expires.
+	Samples int
+	// Eps is the adaptive relative-error target (default 0.05).
+	Eps float64
+	// Conf is the two-sided confidence level (default 0.95).
+	Conf float64
+	// MaxSamples caps adaptive sampling (default 65536).
+	MaxSamples int
+	// Budget, when > 0, bounds the wall-clock of adaptive sampling.
+	Budget time.Duration
+}
+
+// SampleResult is a point estimate with its confidence interval.
+type SampleResult struct {
+	// Estimate is the unbiased p-clique count estimate; CILo/CIHi bound it
+	// at confidence Conf.
+	Estimate, CILo, CIHi float64
+	// Samples is the number of edges drawn; Conf echoes the level the
+	// interval holds at.
+	Samples int
+	Conf    float64
+	// RangeBound is the deterministic per-sample bound R the interval used.
+	RangeBound float64
+}
+
+func (c SampleConfig) withDefaults() SampleConfig {
+	if c.Eps <= 0 {
+		c.Eps = DefaultEps
+	}
+	if !(c.Conf > 0 && c.Conf < 1) {
+		c.Conf = DefaultConf
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 65536
+	}
+	return c
+}
+
+// Binomial returns C(n, k) as a float64, +Inf on overflow, 0 for k < 0 or
+// k > n.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r *= float64(n-k+i) / float64(i)
+		if math.IsInf(r, 1) {
+			return math.Inf(1)
+		}
+	}
+	return r
+}
+
+// RangeBound returns the deterministic upper bound R on the number of
+// p-cliques through any single edge of g: C(c*−1, p−2) with c* the max
+// over edges of min-endpoint degree.
+func RangeBound(g *graph.Graph, p int) float64 {
+	cmax := 0
+	for u := 0; u < g.N(); u++ {
+		du := g.Degree(graph.V(u))
+		for _, v := range g.Neighbors(graph.V(u)) {
+			if int(v) <= u {
+				continue
+			}
+			if dv := g.Degree(v); min(du, dv) > cmax {
+				cmax = min(du, dv)
+			}
+		}
+	}
+	if cmax == 0 {
+		return 0
+	}
+	return Binomial(cmax-1, p-2)
+}
+
+// RunSample estimates the p-clique count of g by seeded edge sampling.
+// ctx cancellation is honored between rounds.
+func RunSample(ctx context.Context, g *graph.Graph, cfg SampleConfig) (*SampleResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.P < 3 {
+		return nil, fmt.Errorf("sketch: sampling requires p ≥ 3, got %d", cfg.P)
+	}
+	m := g.M()
+	if m == 0 {
+		return &SampleResult{Conf: cfg.Conf}, nil
+	}
+	edges := g.Edges()
+	scale := float64(m) / Binomial(cfg.P, 2)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bound := RangeBound(g, cfg.P)
+
+	var deadline time.Time
+	if cfg.Budget > 0 {
+		deadline = time.Now().Add(cfg.Budget)
+	}
+
+	var (
+		n          int
+		sum, sumSq float64
+	)
+	draw := func(k int) {
+		for i := 0; i < k; i++ {
+			// On dense graphs one sample is a real enumeration, so the
+			// budget is enforced mid-round too, not just between rounds.
+			if i%16 == 15 && !deadline.IsZero() && !time.Now().Before(deadline) {
+				return
+			}
+			e := edges[rng.Intn(m)]
+			var x float64
+			g.VisitCliquesThroughEdge(e, cfg.P, func(graph.Clique) bool {
+				x++
+				return true
+			})
+			n++
+			sum += x
+			sumSq += x * x
+		}
+	}
+	interval := func() (est, half float64) {
+		mean := sum / float64(n)
+		est = mean * scale
+		return est, ciHalfWidth(n, mean, sumSq, bound, cfg.Conf) * scale
+	}
+
+	if cfg.Samples > 0 {
+		draw(cfg.Samples)
+	} else {
+		round := 128
+		for {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			draw(min(round, cfg.MaxSamples-n))
+			est, half := interval()
+			switch {
+			case n >= cfg.MaxSamples:
+			case est > 0 && half <= cfg.Eps*est:
+			case est == 0 && n >= 2048: // plausibly empty; the interval stays honest
+			case !deadline.IsZero() && !time.Now().Before(deadline):
+			default:
+				round *= 2
+				continue
+			}
+			break
+		}
+	}
+
+	est, half := interval()
+	return &SampleResult{
+		Estimate:   est,
+		CILo:       math.Max(0, est-half),
+		CIHi:       est + half,
+		Samples:    n,
+		Conf:       cfg.Conf,
+		RangeBound: bound,
+	}, nil
+}
+
+// ciHalfWidth bounds |mean − μ| at confidence conf: the tighter of
+// Hoeffding and empirical Bernstein, each run at half the error budget so
+// the minimum is valid by the union bound. Samples lie in [0, bound].
+func ciHalfWidth(n int, mean, sumSq, bound, conf float64) float64 {
+	if n < 2 || bound <= 0 {
+		return bound
+	}
+	delta := 1 - conf
+	logTerm := math.Log(4 / delta) // 2/δ' with δ' = δ/2
+	fn := float64(n)
+	hoeffding := bound * math.Sqrt(logTerm/(2*fn))
+	// Unbiased sample variance from the running moments.
+	variance := (sumSq - fn*mean*mean) / (fn - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	bernstein := math.Sqrt(2*variance*logTerm/fn) + 7*bound*logTerm/(3*(fn-1))
+	return math.Min(hoeffding, bernstein)
+}

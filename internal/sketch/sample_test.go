@@ -1,0 +1,171 @@
+package sketch
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kplist/internal/graph"
+)
+
+func TestRunSampleCompleteGraph(t *testing.T) {
+	// Every edge of K10 lies in the same number of p-cliques, so the
+	// estimator has zero variance: the point estimate is exact.
+	g := graph.Complete(10)
+	for p, want := range map[int]float64{3: 120, 4: 210, 5: 252} {
+		r, err := RunSample(context.Background(), g, SampleConfig{P: p, Seed: 1, Samples: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Estimate-want) > 1e-6 {
+			t.Errorf("p=%d: estimate %v, want %v", p, r.Estimate, want)
+		}
+		if r.CILo > want || r.CIHi < want {
+			t.Errorf("p=%d: CI [%v, %v] misses %v", p, r.CILo, r.CIHi, want)
+		}
+		if r.Samples != 64 {
+			t.Errorf("p=%d: drew %d samples, want 64", p, r.Samples)
+		}
+	}
+}
+
+func TestRunSampleEmptyAndInvalid(t *testing.T) {
+	g := graph.Cycle(8) // triangle-free
+	r, err := RunSample(context.Background(), g, SampleConfig{P: 3, Seed: 1, Samples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Estimate != 0 || r.CILo != 0 {
+		t.Errorf("triangle-free: estimate %v CI lo %v, want 0", r.Estimate, r.CILo)
+	}
+	empty, _ := graph.New(4, nil)
+	r, err = RunSample(context.Background(), empty, SampleConfig{P: 3, Seed: 1, Samples: 32})
+	if err != nil || r.Estimate != 0 {
+		t.Errorf("edgeless: estimate %v err %v, want 0, nil", r.Estimate, err)
+	}
+	if _, err := RunSample(context.Background(), g, SampleConfig{P: 2, Samples: 8}); err == nil {
+		t.Error("p=2 should be rejected")
+	}
+}
+
+func TestRunSampleDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(64, 0.3, rand.New(rand.NewSource(7)))
+	a, err := RunSample(context.Background(), g, SampleConfig{P: 4, Seed: 99, Samples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunSample(context.Background(), g, SampleConfig{P: 4, Seed: 99, Samples: 500})
+	if *a != *b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, _ := RunSample(context.Background(), g, SampleConfig{P: 4, Seed: 100, Samples: 500})
+	if a.Estimate == c.Estimate && a.CIHi == c.CIHi {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestRunSampleAdaptiveMeetsEps(t *testing.T) {
+	g := graph.ErdosRenyi(128, 0.25, rand.New(rand.NewSource(3)))
+	truth := float64(g.CountCliques(3))
+	r, err := RunSample(context.Background(), g, SampleConfig{P: 3, Seed: 5, Eps: 0.1, Conf: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 {
+		t.Fatal("adaptive mode drew no samples")
+	}
+	if r.Samples < 65536 { // stopped before the cap ⇒ the target was met
+		if half := (r.CIHi - r.CILo) / 2; half > 0.1*r.Estimate+1e-9 {
+			t.Errorf("stopped with half-width %v > eps·est %v", half, 0.1*r.Estimate)
+		}
+	}
+	if truth < r.CILo || truth > r.CIHi {
+		t.Errorf("CI [%v, %v] misses truth %v", r.CILo, r.CIHi, truth)
+	}
+}
+
+func TestRunSampleHonorsContextAndBudget(t *testing.T) {
+	g := graph.ErdosRenyi(128, 0.3, rand.New(rand.NewSource(4)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSample(ctx, g, SampleConfig{P: 4, Seed: 1, Eps: 1e-9}); err == nil {
+		t.Error("cancelled context should surface")
+	}
+	// An unsatisfiable eps with a tiny budget must still terminate quickly.
+	start := time.Now()
+	r, err := RunSample(context.Background(), g, SampleConfig{P: 4, Seed: 1, Eps: 1e-12, Budget: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 {
+		t.Error("budgeted run drew no samples")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("budgeted run overran wildly")
+	}
+}
+
+func TestRangeBound(t *testing.T) {
+	g := graph.ErdosRenyi(80, 0.3, rand.New(rand.NewSource(9)))
+	for _, p := range []int{3, 4, 5} {
+		bound := RangeBound(g, p)
+		worst := 0.0
+		for _, e := range g.Edges() {
+			x := 0.0
+			g.VisitCliquesThroughEdge(e, p, func(graph.Clique) bool { x++; return true })
+			if x > worst {
+				worst = x
+			}
+		}
+		if worst > bound {
+			t.Errorf("p=%d: observed max %v exceeds RangeBound %v", p, worst, bound)
+		}
+	}
+	// K6: every edge has exactly 4 common neighbors, and the bound is
+	// tight: C(min(5,5)−1, 1) = 4.
+	if b := RangeBound(graph.Complete(6), 3); b != 4 {
+		t.Errorf("K6 p=3 bound %v, want 4", b)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {4, 5, 0}, {3, -1, 0}, {52, 5, 2598960}}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(Binomial(100000, 50000), 1) {
+		t.Error("huge binomial should saturate to +Inf")
+	}
+}
+
+func TestPlan(t *testing.T) {
+	small := PlanInput{N: 100, M: 300, Degeneracy: 4, P: 4, Budget: time.Second}
+	if d := Plan(small); d.Method != MethodExact {
+		t.Errorf("cheap graph within budget: got %s, want exact", d.Method)
+	}
+	if d := Plan(PlanInput{N: 1 << 20, M: 1 << 27, Degeneracy: 4000, P: 5}); d.Method != MethodExact {
+		t.Error("no budget means exact")
+	}
+	big := PlanInput{N: 1 << 20, M: 1 << 27, Degeneracy: 4000, P: 5, Budget: time.Millisecond}
+	if d := Plan(big); d.Method != MethodSample {
+		t.Errorf("over budget without sketch: got %s, want sample", d.Method)
+	}
+	big.HasFreshSketch = true
+	if d := Plan(big); d.Method != MethodHLL {
+		t.Errorf("over budget with fresh sketch: got %s, want hll", d.Method)
+	}
+	big.Method = MethodSample
+	if d := Plan(big); d.Method != MethodSample || !d.Forced {
+		t.Errorf("explicit override ignored: %+v", d)
+	}
+	if d := Plan(PlanInput{N: 10, M: 20, Degeneracy: 3, P: 30, Budget: time.Hour}); d.Method != MethodSample {
+		t.Errorf("saturated exact cost must not overflow into exact: %+v", d)
+	}
+}

@@ -1,0 +1,106 @@
+package workload_test
+
+// The sketch leg of the metamorphic mutation suite (ISSUE 10): after every
+// ApplyBatch of every family × schedule, the Session's incrementally
+// maintained clique sketch must either equal a from-scratch sketch of the
+// rebuilt graph byte-for-byte (pure-insertion batches) or be correctly
+// marked stale (any deletion or rebuild batch), with the lazy rebuild then
+// restoring byte-equality. External test package: the production
+// maintenance path lives on kplist.Session, which imports workload's
+// sibling graph package.
+
+import (
+	"context"
+	"testing"
+
+	"kplist"
+	"kplist/internal/workload"
+)
+
+const (
+	sketchMetaN         = 48
+	sketchMetaPrecision = 11
+	sketchMetaSeed      = 77
+)
+
+func sketchBytes(t *testing.T, s *kplist.Session, p int) ([]byte, bool) {
+	t.Helper()
+	h, staleRebuilt, err := s.Sketch(context.Background(), p, sketchMetaPrecision, sketchMetaSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, staleRebuilt
+}
+
+func freshSketchBytes(t *testing.T, g *kplist.Graph, p int) []byte {
+	t.Helper()
+	fresh := kplist.NewSession(g, kplist.SessionConfig{})
+	defer fresh.Close()
+	b, _ := sketchBytes(t, fresh, p)
+	return b
+}
+
+func TestSketchMetamorphicApplyEqualsRebuild(t *testing.T) {
+	const p = 4
+	ctx := context.Background()
+	for _, family := range workload.Families() {
+		for _, sched := range workload.TraceSchedules() {
+			family, sched := family, sched
+			t.Run(family+"/"+sched, func(t *testing.T) {
+				inst, err := workload.Generate(workload.DefaultSpec(family, sketchMetaN, 7))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := workload.GenerateTrace(inst.G, workload.TraceSpec{
+					Schedule: sched, Batches: 3, BatchSize: 12, Seed: 13,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := kplist.NewSession(inst.G, kplist.SessionConfig{})
+				defer s.Close()
+				// Prime the maintained sketch before any mutation lands.
+				if _, staleRebuilt := sketchBytes(t, s, p); staleRebuilt {
+					t.Fatal("first build reported a stale rebuild")
+				}
+				for i, batch := range tr.Batches {
+					before := s.Stats()
+					res, err := s.Apply(ctx, batch)
+					if err != nil {
+						t.Fatalf("batch %d: %v", i, err)
+					}
+					after := s.Stats()
+					deleting := res.RemovedEdges > 0 || res.Rebuilt
+					if res.AddedEdges+res.RemovedEdges == 0 {
+						continue // no-op batch: nothing may change
+					}
+					if deleting {
+						// Any deletion (or rebuild fallback) must mark the
+						// maintained sketch stale, never patch it in place.
+						if after.SketchStaleMarked == before.SketchStaleMarked &&
+							after.SketchIncremental != before.SketchIncremental {
+							t.Fatalf("batch %d (deleting): sketch patched in place: %+v -> %+v", i, before, after)
+						}
+					} else if after.SketchIncremental == before.SketchIncremental {
+						t.Fatalf("batch %d (pure insertions): sketch not folded incrementally: %+v -> %+v",
+							i, before, after)
+					}
+					got, staleRebuilt := sketchBytes(t, s, p)
+					if deleting && after.SketchStaleMarked > before.SketchStaleMarked && !staleRebuilt {
+						t.Fatalf("batch %d: deletion-staled sketch served without a rebuild", i)
+					}
+					if !deleting && staleRebuilt {
+						t.Fatalf("batch %d: pure-insertion batch forced a stale rebuild", i)
+					}
+					if want := freshSketchBytes(t, s.Graph(), p); string(got) != string(want) {
+						t.Fatalf("batch %d: maintained sketch != from-scratch sketch of the rebuilt graph", i)
+					}
+				}
+			})
+		}
+	}
+}

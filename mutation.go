@@ -175,6 +175,10 @@ func (s *Session) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, err
 	s.gtMu.Unlock()
 	s.mu.Unlock()
 
+	// Fold the batch into the maintained clique sketches: pure insertions
+	// inscribe incrementally, deletions mark stale (estimate.go).
+	s.maintainSketches(old.g, newG, delta)
+
 	res.Graph, res.N, res.M = newG, newG.N(), newG.M()
 	return res, nil
 }

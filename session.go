@@ -100,6 +100,13 @@ type SessionStats struct {
 	// PeakConcurrent is the highest number of simultaneously executing
 	// queries observed (≤ MaxConcurrent).
 	PeakConcurrent int
+	// SketchBuilds counts from-scratch sketch inscriptions (first request
+	// per key, and lazy rebuilds); SketchStaleRebuilds is the subset forced
+	// by a deletion-staled sketch. SketchIncremental counts mutation
+	// batches folded into maintained sketches in place; SketchStaleMarked
+	// counts sketches a deletion or rebuild batch marked stale. See
+	// estimate.go.
+	SketchBuilds, SketchStaleRebuilds, SketchIncremental, SketchStaleMarked int64
 }
 
 // Session amortizes listing work across many queries on one graph: open it
@@ -140,6 +147,11 @@ type Session struct {
 
 	gtMu sync.Mutex
 	gt   map[int]*gtEntry
+
+	// skMu guards the maintained clique sketches (estimate.go), keyed by
+	// (p, precision, seed) and snapshot-pointer checked like gt.
+	skMu     sync.Mutex
+	sketches map[sketchKey]*sketchEntry
 }
 
 // sessionState is one immutable snapshot of the served graph.
@@ -174,10 +186,11 @@ func NewSession(g *Graph, cfg SessionConfig) *Session {
 		cfg.MaxCachedResults = 256
 	}
 	s := &Session{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		entries: make(map[Query]*sessionEntry),
-		gt:      make(map[int]*gtEntry),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		entries:  make(map[Query]*sessionEntry),
+		gt:       make(map[int]*gtEntry),
+		sketches: make(map[sketchKey]*sketchEntry),
 	}
 	s.state.Store(&sessionState{g: g, degen: g.Degeneracy()})
 	return s
